@@ -1,0 +1,38 @@
+"""Ablation B — DV-token ghost certificates (paper §3 fn. 2, §4.2).
+
+Rebuilds the same world with ghost issuance disabled: the transient
+RDAP failure rate should collapse from ≈34 % toward the ordinary ≈3 %
+baseline, demonstrating that cached-validation issuance (not
+measurement error) drives the paper's anomalous failure rate.
+"""
+
+import pytest
+
+from repro.analysis.tables import ExperimentReport
+from repro.core.pipeline import run_pipeline
+from repro.workload.scenario import ScenarioConfig, build_world
+
+BASE = dict(seed=17, scale=1 / 1000, include_cctld=False)
+
+
+def _failure_rate(ghosts_enabled: bool) -> float:
+    world = build_world(ScenarioConfig(ghost_certs=ghosts_enabled,
+                                       held_domains=ghosts_enabled, **BASE))
+    result = run_pipeline(world)
+    return result.rdap_failure_rate(result.transient_candidates)
+
+
+def test_dv_token_ghosts_drive_rdap_failures(benchmark):
+    with_ghosts = benchmark.pedantic(_failure_rate, args=(True,),
+                                     rounds=1, iterations=1)
+    without_ghosts = _failure_rate(False)
+    report = ExperimentReport(
+        experiment="Ablation B — DV-token ghosts",
+        description="transient RDAP failure with/without ghost certs")
+    report.compare("failure rate with ghosts (paper ≈0.34)", 0.34,
+                   with_ghosts, abs_tol=0.10)
+    report.compare("failure rate without ghosts (≈ baseline)", 0.05,
+                   without_ghosts, abs_tol=0.05)
+    print()
+    print(report.render())
+    assert with_ghosts > without_ghosts * 3

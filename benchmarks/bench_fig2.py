@@ -1,0 +1,13 @@
+"""Figure 2 — CDF of transient domain lifetimes.
+
+Paper: over 50 % of transient domains die within their first 6 hours,
+measured as (last valid NS probe − RDAP registration time).
+"""
+
+from benchmarks.conftest import check_report
+from repro.analysis.lifetimes import LifetimeAnalysis
+
+
+def test_fig2_transient_lifetimes(benchmark, world, result):
+    lifetimes = benchmark(LifetimeAnalysis.from_result, world, result)
+    check_report(lifetimes.report(), min_ok_fraction=1.0)

@@ -1,0 +1,14 @@
+"""§4.1 — NS infrastructure stability in the first 24 hours.
+
+Paper: 97.5 % of newly registered domains kept their initial NS
+infrastructure for the first 24 h; 2.5 % changed quickly enough that a
+daily zone diff could miss the intermediate state.
+"""
+
+from benchmarks.conftest import check_report
+from repro.analysis.detection import DetectionAnalysis
+
+
+def test_ns_stability_24h(benchmark, world, result):
+    detection = benchmark(DetectionAnalysis.from_result, world, result)
+    check_report(detection.ns_report(), min_ok_fraction=1.0)

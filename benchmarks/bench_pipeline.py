@@ -1,0 +1,35 @@
+"""End-to-end pipeline throughput.
+
+Measures a complete five-step DarkDNS run (detection → RDAP → monitor →
+validate → transient classification) over a 1/2000-scale three-month
+world, plus the isolated step-1 filter throughput on the bench world's
+certstream volume.
+"""
+
+import pytest
+
+from repro.core.ctdetect import CTDetector
+from repro.core.pipeline import run_pipeline
+from repro.workload.scenario import ScenarioConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def small_bench_world():
+    return build_world(ScenarioConfig(seed=23, scale=1 / 2000,
+                                      include_cctld=False))
+
+
+def test_full_pipeline_run(benchmark, small_bench_world):
+    result = benchmark.pedantic(run_pipeline, args=(small_bench_world,),
+                                rounds=2, iterations=1)
+    assert result.detected_count > 1000
+
+
+def test_step1_detector_throughput(benchmark, world):
+    def detect():
+        detector = CTDetector(world.archive, world.registries.tlds())
+        return detector.run(world.certstream, world.window.start,
+                            world.window.end)
+
+    candidates = benchmark.pedantic(detect, rounds=2, iterations=1)
+    assert len(candidates) > 10_000

@@ -1,0 +1,14 @@
+"""Table 4 — DNS hosting (NS-record SLD) of confirmed transients.
+
+Paper: half of all transient domains use Cloudflare nameservers
+(49.5 %), with Hostinger's parking NS second (8.7 %).  NS SLDs are
+extracted from the monitor's observed NS RRsets via the PSL.
+"""
+
+from benchmarks.conftest import check_report
+from repro.analysis.landscape import InfrastructureAnalysis
+
+
+def test_table4_dns_hosting(benchmark, world, result):
+    infra = benchmark(InfrastructureAnalysis.from_result, world, result)
+    check_report(infra.table4_report(), min_ok_fraction=0.8)

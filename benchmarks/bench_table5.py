@@ -1,0 +1,14 @@
+"""Table 5 — web hosting (A-record origin ASN) of confirmed transients.
+
+Paper: Cloudflare AS13335 36.2 %, Hostinger AS47583 14.0 %, Amazon
+AS16509 7.6 %.  ASNs are attributed by longest-prefix match over the
+A records the monitor observed, exactly the paper's method.
+"""
+
+from benchmarks.conftest import check_report
+from repro.analysis.landscape import InfrastructureAnalysis
+
+
+def test_table5_web_hosting(benchmark, world, result):
+    infra = benchmark(InfrastructureAnalysis.from_result, world, result)
+    check_report(infra.table5_report(), min_ok_fraction=0.8)

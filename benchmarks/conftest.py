@@ -1,0 +1,39 @@
+"""Benchmark fixtures: one bench-scale world shared across all benches.
+
+The bench world runs at 1/200 of the paper's volumes (≈87 k
+registrations, ≈69 k CT-observed certificates) with the ccTLD
+ground-truth population at full paper scale, so §4.4b compares absolute
+counts.  Building it costs ~10 s once per benchmark session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_pipeline
+from repro.workload.scenario import ScenarioConfig, build_world
+
+#: 1/200 of the paper's population (Table 1: 16.3 M zone NRDs).
+BENCH_SCALE = 1 / 200
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world(ScenarioConfig(
+        seed=BENCH_SEED, scale=BENCH_SCALE,
+        include_cctld=True, cctld_scale=1.0))
+
+
+@pytest.fixture(scope="session")
+def result(world):
+    return run_pipeline(world)
+
+
+def check_report(report, min_ok_fraction: float = 0.8) -> None:
+    """Print the paper-vs-measured report and assert the shape holds."""
+    print()
+    print(report.render())
+    ok, total = report.holding()
+    assert total == 0 or ok / total >= min_ok_fraction, (
+        f"{report.experiment}: only {ok}/{total} metrics within tolerance")

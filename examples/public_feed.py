@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Produce and consume the public NRD feed (the paper's "zonestream").
+
+Contribution (2) of the paper is an open live feed of newly registered
+domains.  This example runs the pipeline, writes the feed as JSONL,
+reloads it as a downstream consumer would, and computes simple
+consumer-side statistics (daily volumes, TLD mix, transient overlap).
+
+Run:  python examples/public_feed.py [output.jsonl]
+"""
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro import ScenarioConfig, build_world
+from repro.core.feed import PublicFeed
+from repro.core.pipeline import DarkDNSPipeline
+from repro.simtime.clock import DAY, isoformat
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "zonestream.jsonl")
+
+    world = build_world(ScenarioConfig(seed=8, scale=1 / 2000))
+    pipeline = DarkDNSPipeline(world)
+    result = pipeline.run()
+
+    count = pipeline.feed.to_jsonl(out_path)
+    print(f"wrote {count:,} feed records to {out_path}")
+
+    # --- downstream consumer ------------------------------------------------
+    feed = PublicFeed.from_jsonl(out_path)
+    print(f"reloaded {len(feed):,} records")
+
+    tld_mix = Counter(record.tld for record in feed)
+    print("\ntop TLDs on the feed:")
+    for tld, n in tld_mix.most_common(5):
+        print(f"  .{tld:<8} {n:,}")
+
+    daily = Counter((record.seen_at // DAY) * DAY for record in feed)
+    busiest_day, busiest_count = max(daily.items(), key=lambda kv: kv[1])
+    print(f"\nbusiest day: {isoformat(busiest_day)[:10]} "
+          f"with {busiest_count:,} NRDs "
+          f"(mean {sum(daily.values()) / len(daily):.0f}/day)")
+
+    transient_on_feed = feed.domains & result.transient_candidates
+    print(f"\nfeed records that turned out transient: "
+          f"{len(transient_on_feed):,} "
+          f"({len(transient_on_feed) / len(feed):.1%}) — these names exist "
+          f"nowhere else: no zone file ever carried them.")
+
+    out_path.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Resurrecting RZU: how fast must zone sharing be to kill the blind spot?
+
+The paper's §5 argues registries should revive Verisign's Rapid Zone
+Update service (5-minute zone deltas, discontinued ~2008).  This
+example makes the argument quantitative: the same world of registrations
+and takedowns is observed through snapshot cadences from 24 hours down
+to 5 minutes, and the number of *invisible* (transient) registrations is
+measured at each cadence.
+
+Run:  python examples/rapid_zone_updates.py
+"""
+
+from repro.analysis import rzu_report, rzu_sweep
+from repro.analysis.ecdf import format_duration
+from repro.simtime.clock import DAY, HOUR, MINUTE
+from repro.workload.scenario import ScenarioConfig
+
+CADENCES = (DAY, 12 * HOUR, 4 * HOUR, HOUR, 15 * MINUTE, 5 * MINUTE)
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        seed=31, scale=1 / 1000, include_cctld=False,
+        tlds=["com", "net", "xyz", "online", "site", "top", "shop"])
+    print("sweeping snapshot cadences (same seed, same registrations):\n")
+    points = rzu_sweep(config, CADENCES)
+    print(rzu_report(points).render())
+
+    daily = points[0]
+    rapid = points[-1]
+    if daily.true_transients:
+        closed = 1 - rapid.true_transients / daily.true_transients
+        print(f"\nAt a {format_duration(rapid.cadence)} cadence the daily "
+              f"blind spot shrinks by {closed:.0%}: "
+              f"{daily.true_transients} invisible registrations become "
+              f"{rapid.true_transients}.")
+    print("Median capture latency falls from "
+          f"{format_duration(daily.median_capture_latency or 0)} to "
+          f"{format_duration(rapid.median_capture_latency or 0)} — "
+          "defenders would see short-lived abuse domains while the "
+          "campaigns are still running.")
+
+
+if __name__ == "__main__":
+    main()

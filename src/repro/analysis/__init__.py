@@ -1,0 +1,43 @@
+"""Analyses reproducing every table, figure and inline statistic."""
+
+from repro.analysis.ecdf import ECDF, cdf_series, format_duration, render_cdf
+from repro.analysis.tables import (
+    Comparison,
+    ExperimentReport,
+    TextTable,
+    share_table,
+)
+from repro.analysis.detection import DetectionAnalysis
+from repro.analysis.lifetimes import LifetimeAnalysis, measured_lifetimes, true_lifetimes
+from repro.analysis.landscape import InfrastructureAnalysis, VolumeAnalysis
+from repro.analysis.blocklists import BlocklistAnalysis, FlagTiming
+from repro.analysis.visibility import (
+    CadencePoint,
+    CCTLDComparison,
+    DEFAULT_CADENCES,
+    NODComparison,
+    rzu_report,
+    rzu_sweep,
+)
+from repro.analysis.cadence import (
+    CadenceEstimate,
+    cadence_report,
+    estimate_interval,
+    probe_registry,
+    serial_change_times,
+)
+from repro.analysis.report import full_report, rdap_failure_report, render_reports
+
+__all__ = [
+    "ECDF", "cdf_series", "format_duration", "render_cdf",
+    "Comparison", "ExperimentReport", "TextTable", "share_table",
+    "DetectionAnalysis",
+    "LifetimeAnalysis", "measured_lifetimes", "true_lifetimes",
+    "VolumeAnalysis", "InfrastructureAnalysis",
+    "BlocklistAnalysis", "FlagTiming",
+    "NODComparison", "CCTLDComparison",
+    "CadencePoint", "DEFAULT_CADENCES", "rzu_sweep", "rzu_report",
+    "CadenceEstimate", "cadence_report", "estimate_interval",
+    "probe_registry", "serial_change_times",
+    "full_report", "rdap_failure_report", "render_reports",
+]

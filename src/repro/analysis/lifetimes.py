@@ -1,0 +1,92 @@
+"""Figure 2: lifetimes of transient domains.
+
+The paper estimates a transient domain's lifetime as the gap between
+the RDAP registration time and the last probe at which the TLD
+authority still answered the NS query — then reports that over 50 % of
+transient domains died within their first six hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import paperdata
+from repro.analysis.ecdf import ECDF, format_duration
+from repro.analysis.tables import ExperimentReport, TextTable
+from repro.core.records import PipelineResult
+from repro.simtime.clock import HOUR
+from repro.workload.scenario import World
+
+
+def measured_lifetimes(result: PipelineResult,
+                       exclude_tld: Optional[str] = None) -> Dict[str, int]:
+    """Monitor-estimated lifetimes of confirmed transients.
+
+    last successful NS probe − RDAP creation time (§4.2.1); domains the
+    monitor never saw alive are excluded (they died between probes).
+    """
+    lifetimes: Dict[str, int] = {}
+    for domain in result.confirmed_transients:
+        if exclude_tld is not None and domain.endswith("." + exclude_tld):
+            continue
+        report = result.monitors.get(domain)
+        rdap = result.rdap.get(domain)
+        if report is None or rdap is None or rdap.record is None:
+            continue
+        if report.last_ns_ok is None:
+            continue
+        lifetimes[domain] = report.last_ns_ok - rdap.record.created_at
+    return lifetimes
+
+
+def true_lifetimes(world: World, result: PipelineResult) -> Dict[str, int]:
+    """Registrar-view lifetimes of the same confirmed transients."""
+    out: Dict[str, int] = {}
+    for domain in result.confirmed_transients:
+        if domain.endswith("." + world.cctld_tld) if world.cctld_tld else False:
+            continue
+        lifecycle = world.registries.find_lifecycle(domain)
+        if lifecycle is not None and lifecycle.lifetime is not None:
+            out[domain] = lifecycle.lifetime
+    return out
+
+
+@dataclass
+class LifetimeAnalysis:
+    """Fig 2 computed from one pipeline result."""
+
+    measured: ECDF
+    truth: ECDF
+
+    @classmethod
+    def from_result(cls, world: World, result: PipelineResult) -> "LifetimeAnalysis":
+        return cls(
+            measured=ECDF(measured_lifetimes(
+                result, exclude_tld=world.cctld_tld).values()),
+            truth=ECDF(true_lifetimes(world, result).values()),
+        )
+
+    def report(self) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment="Figure 2",
+            description="CDF of transient domain lifetimes (last NS probe - RDAP creation)")
+        for threshold, expected in paperdata.FIG2_POINTS:
+            report.compare(
+                f"P(lifetime <= {format_duration(threshold)}) >= 0.5",
+                expected, self.measured.prob_at(threshold), abs_tol=0.20)
+        if not self.measured.is_empty:
+            report.compare("median lifetime (hours)", 6.0,
+                           self.measured.median / HOUR, rel_tol=0.40)
+        table = TextTable(["lifetime", "measured CDF", "registrar-truth CDF"],
+                          title="Figure 2 grid")
+        for tick in paperdata.FIG2_GRID:
+            table.add_row(format_duration(tick),
+                          f"{self.measured.prob_at(tick):.3f}",
+                          f"{self.truth.prob_at(tick):.3f}"
+                          if not self.truth.is_empty else "-")
+        report.tables.append(table)
+        report.notes.append(
+            "measured lifetimes quantise to the 10-minute probe grid and "
+            "undershoot truth by up to one probe interval.")
+        return report

@@ -1,0 +1,173 @@
+"""In-process topic broker modelled on the paper's Kafka deployment.
+
+The measurement system is structured as producers and consumers over
+topics ("we feed the results of each measurement into Kafka topics",
+§3): Certstream candidates flow into one topic, RDAP collectors consume
+it, monitor observations land in another, and the storage sink archives
+everything.  This broker reproduces the semantics the pipeline relies
+on: partitioned, offset-addressed, replayable logs with consumer groups
+committing per-partition offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import BusError, OffsetError, UnknownTopicError
+from repro.simtime.rng import stable_bucket
+
+
+@dataclass(frozen=True)
+class Message:
+    """One record on a topic partition."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: int
+    key: str
+    value: Any
+
+
+class Partition:
+    """An append-only message log."""
+
+    def __init__(self, topic: str, index: int) -> None:
+        self.topic = topic
+        self.index = index
+        self._log: List[Message] = []
+
+    def append(self, key: str, value: Any, timestamp: int) -> Message:
+        if self._log and timestamp < self._log[-1].timestamp:
+            # Brokers accept out-of-order producer clocks; keep log order
+            # by offset but preserve the producer timestamp as-is.
+            pass
+        message = Message(topic=self.topic, partition=self.index,
+                          offset=len(self._log), timestamp=timestamp,
+                          key=key, value=value)
+        self._log.append(message)
+        return message
+
+    def read(self, offset: int, max_messages: int) -> List[Message]:
+        if offset < 0:
+            raise OffsetError(f"negative offset {offset}")
+        return self._log[offset:offset + max_messages]
+
+    @property
+    def end_offset(self) -> int:
+        return len(self._log)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+
+class Topic:
+    """A named set of partitions; keys route deterministically."""
+
+    def __init__(self, name: str, partitions: int = 4) -> None:
+        if partitions <= 0:
+            raise BusError("topics need at least one partition")
+        self.name = name
+        self.partitions = [Partition(name, i) for i in range(partitions)]
+
+    def partition_for(self, key: str) -> Partition:
+        return self.partitions[stable_bucket(key, len(self.partitions), self.name)]
+
+    def append(self, key: str, value: Any, timestamp: int) -> Message:
+        return self.partition_for(key).append(key, value, timestamp)
+
+    def total_messages(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def all_messages(self) -> List[Message]:
+        """All messages across partitions, ordered by (timestamp, part, off)."""
+        out: List[Message] = []
+        for partition in self.partitions:
+            out.extend(partition.read(0, partition.end_offset))
+        out.sort(key=lambda m: (m.timestamp, m.partition, m.offset))
+        return out
+
+
+class Broker:
+    """Topic registry + consumer-group offset tracking."""
+
+    def __init__(self, default_partitions: int = 4) -> None:
+        self.default_partitions = default_partitions
+        self._topics: Dict[str, Topic] = {}
+        # (group, topic, partition) -> committed offset
+        self._commits: Dict[Tuple[str, str, int], int] = {}
+
+    # -- topics ---------------------------------------------------------------
+
+    def create_topic(self, name: str, partitions: Optional[int] = None) -> Topic:
+        if name in self._topics:
+            raise BusError(f"topic {name!r} already exists")
+        count = self.default_partitions if partitions is None else partitions
+        topic = Topic(name, count)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Topic:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise UnknownTopicError(f"no topic {name!r}") from None
+
+    def ensure_topic(self, name: str, partitions: Optional[int] = None) -> Topic:
+        found = self._topics.get(name)
+        return found if found is not None else self.create_topic(name, partitions)
+
+    def topics(self) -> List[str]:
+        return sorted(self._topics)
+
+    # -- produce / consume --------------------------------------------------------
+
+    def produce(self, topic: str, key: str, value: Any, timestamp: int) -> Message:
+        return self.ensure_topic(topic).append(key, value, timestamp)
+
+    def committed(self, group: str, topic: str, partition: int) -> int:
+        return self._commits.get((group, topic, partition), 0)
+
+    def commit(self, group: str, topic: str, partition: int, offset: int) -> None:
+        end = self.topic(topic).partitions[partition].end_offset
+        if not 0 <= offset <= end:
+            raise OffsetError(f"commit {offset} outside [0, {end}]")
+        self._commits[(group, topic, partition)] = offset
+
+    def poll(self, group: str, topic_name: str,
+             max_messages: int = 500) -> List[Message]:
+        """Fetch-and-commit the next batch for a consumer group.
+
+        Round-robins partitions, commits as it reads (at-most-once is
+        fine for a deterministic simulation), and returns messages in
+        (timestamp, partition, offset) order.
+        """
+        topic = self.topic(topic_name)
+        batch: List[Message] = []
+        budget = max_messages
+        for partition in topic.partitions:
+            if budget <= 0:
+                break
+            start = self.committed(group, topic_name, partition.index)
+            messages = partition.read(start, budget)
+            if messages:
+                self.commit(group, topic_name, partition.index,
+                            messages[-1].offset + 1)
+                batch.extend(messages)
+                budget -= len(messages)
+        batch.sort(key=lambda m: (m.timestamp, m.partition, m.offset))
+        return batch
+
+    def lag(self, group: str, topic_name: str) -> int:
+        """Messages not yet consumed by the group across all partitions."""
+        topic = self.topic(topic_name)
+        return sum(p.end_offset - self.committed(group, topic_name, p.index)
+                   for p in topic.partitions)
+
+
+#: Topic names used by the DarkDNS pipeline (mirrors the paper's design).
+TOPIC_CANDIDATES = "nrd.candidates"
+TOPIC_RDAP = "nrd.rdap"
+TOPIC_OBSERVATIONS = "nrd.dns-observations"
+TOPIC_FEED = "nrd.public-feed"

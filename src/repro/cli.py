@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``reproduce``
+    Build a world, run the pipeline, print every paper-vs-measured
+    report (the EXPERIMENTS.md generator).
+``feed``
+    Run the pipeline and write the public NRD feed as JSON lines.
+``sweep``
+    The Rapid-Zone-Update cadence sweep (Ablation A).
+``probe``
+    SOA-serial cadence probing of every simulated registry (§4.1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.analysis.cadence import cadence_report, probe_registry
+from repro.analysis.report import full_report, render_reports
+from repro.analysis.visibility import DEFAULT_CADENCES, rzu_report, rzu_sweep
+from repro.core.pipeline import DarkDNSPipeline
+from repro.simtime.clock import DAY, Window
+from repro.workload.scenario import ScenarioConfig, build_world
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7,
+                        help="master seed (default 7)")
+    parser.add_argument("--scale", type=int, default=500, metavar="N",
+                        help="run at 1/N of the paper's volumes (default 500)")
+    parser.add_argument("--no-cctld", action="store_true",
+                        help="skip the .nl ground-truth registry")
+
+
+def _world_from(args: argparse.Namespace, cctld_scale: Optional[float] = None):
+    return build_world(ScenarioConfig(
+        seed=args.seed, scale=1 / args.scale,
+        include_cctld=not args.no_cctld,
+        cctld_scale=cctld_scale))
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    start = time.time()
+    world = _world_from(args, cctld_scale=1.0 if not args.no_cctld else None)
+    print(f"world: {world.registries.total_registrations():,} registrations, "
+          f"{world.certstream.event_count():,} CT entries "
+          f"({time.time() - start:.1f}s)", file=sys.stderr)
+    result = DarkDNSPipeline(world).run()
+    print(render_reports(full_report(world, result)))
+    return 0
+
+
+def cmd_feed(args: argparse.Namespace) -> int:
+    world = _world_from(args)
+    pipeline = DarkDNSPipeline(world)
+    pipeline.run()
+    count = pipeline.feed.to_jsonl(args.output)
+    print(f"wrote {count:,} records to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        seed=args.seed, scale=1 / args.scale, include_cctld=False,
+        tlds=["com", "net", "xyz", "online", "site", "top"])
+    points = rzu_sweep(config, DEFAULT_CADENCES)
+    print(rzu_report(points).render())
+    return 0
+
+
+def cmd_probe(args: argparse.Namespace) -> int:
+    world = _world_from(args)
+    window = Window(world.window.start, world.window.start + 3 * DAY)
+    estimates = [probe_registry(registry, window, probe_interval=30)
+                 for registry in world.registries]
+    print(cadence_report(estimates).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DarkDNS (IMC '24) reproduction over a simulated "
+                    "DNS registration ecosystem")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_repro = sub.add_parser("reproduce",
+                             help="run everything, print paper-vs-measured")
+    _add_world_args(p_repro)
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    p_feed = sub.add_parser("feed", help="write the public NRD feed (JSONL)")
+    _add_world_args(p_feed)
+    p_feed.add_argument("--output", default="zonestream.jsonl")
+    p_feed.set_defaults(func=cmd_feed)
+
+    p_sweep = sub.add_parser("sweep",
+                             help="Rapid-Zone-Update cadence sweep")
+    _add_world_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_probe = sub.add_parser("probe",
+                             help="SOA-serial cadence probe (§4.1)")
+    _add_world_args(p_probe)
+    p_probe.set_defaults(func=cmd_probe)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

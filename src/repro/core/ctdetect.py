@@ -1,0 +1,104 @@
+"""Pipeline step 1: infer newly registered domains from CT logs.
+
+Consumes the Certstream feed, extracts registrable domains from CN/SAN
+via the Public Suffix List, discards names already present in the
+latest *published* zone snapshot, and emits one candidate per domain
+(first observation wins).  Mirrors §3 step 1, including its stated
+limitations — which the simulation reproduces rather than papers over:
+
+* CAs may reuse cached DV tokens, so candidates can be domains that no
+  longer (or never currently) exist;
+* zone files may publish late, so "not in the latest snapshot" can be
+  stale by days;
+* only domains with certificates are visible at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.bus.broker import Broker, TOPIC_CANDIDATES
+from repro.ct.certstream import CertstreamEvent, CertstreamFeed
+from repro.czds.archive import SnapshotArchive
+from repro.dnscore import name as dnsname
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.core.records import Candidate
+
+
+@dataclass
+class DetectorStats:
+    events: int = 0
+    names_seen: int = 0
+    psl_failures: int = 0
+    unknown_tld: int = 0
+    filtered_in_zone: int = 0
+    duplicates: int = 0
+    candidates: int = 0
+
+
+class CTDetector:
+    """Step-1 operator: Certstream → candidate stream."""
+
+    def __init__(self, archive: SnapshotArchive,
+                 known_tlds: Iterable[str],
+                 psl: Optional[PublicSuffixList] = None,
+                 broker: Optional[Broker] = None) -> None:
+        self.archive = archive
+        self.known_tlds: Set[str] = set(known_tlds)
+        self.psl = psl if psl is not None else default_psl()
+        self.broker = broker
+        self.stats = DetectorStats()
+        self._seen: Set[str] = set()
+
+    def process_event(self, event: CertstreamEvent) -> List[Candidate]:
+        """Extract zero or more *new* candidates from one feed message."""
+        self.stats.events += 1
+        out: List[Candidate] = []
+        registrables: List[str] = []
+        for raw in event.all_names_raw:
+            self.stats.names_seen += 1
+            registrable = self.psl.registrable_or_none(raw)
+            if registrable is None:
+                self.stats.psl_failures += 1
+                continue
+            registrables.append(registrable)
+        for domain in dict.fromkeys(registrables):
+            try:
+                tld = dnsname.tld_of(domain)
+            except Exception:
+                self.stats.psl_failures += 1
+                continue
+            if tld not in self.known_tlds:
+                self.stats.unknown_tld += 1
+                continue
+            if domain in self._seen:
+                self.stats.duplicates += 1
+                continue
+            if self.archive.covers(tld) and self.archive.in_latest_published(
+                    domain, event.seen_at):
+                self.stats.filtered_in_zone += 1
+                self._seen.add(domain)  # known-registered; skip future certs
+                continue
+            candidate = Candidate(
+                domain=domain, tld=tld, ct_seen_at=event.seen_at,
+                cert_serial=event.certificate.serial,
+                issuer=event.certificate.issuer,
+                log_id=event.log_id,
+                reused_validation=event.certificate.reused_validation)
+            self._seen.add(domain)
+            self.stats.candidates += 1
+            out.append(candidate)
+            if self.broker is not None:
+                self.broker.produce(TOPIC_CANDIDATES, domain, candidate,
+                                    event.seen_at)
+        return out
+
+    def run(self, feed: CertstreamFeed, start_ts: Optional[int] = None,
+            end_ts: Optional[int] = None) -> Dict[str, Candidate]:
+        """Drain the feed over a window; returns domain → candidate."""
+        candidates: Dict[str, Candidate] = {}
+        for event in feed.events(start_ts, end_ts):
+            for candidate in self.process_event(event):
+                candidates[candidate.domain] = candidate
+        return candidates

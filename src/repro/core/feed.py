@@ -1,0 +1,106 @@
+"""The public newly-registered-domain feed ("zonestream").
+
+Contribution (2) of the paper: an open live feed of newly registered
+domains, including transients, published for the research community.
+:class:`PublicFeed` is that artefact — an ordered stream of detection
+records with JSONL round-tripping so downstream users can replay it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.core.records import Candidate
+from repro.simtime.clock import DAY, day_floor, isoformat
+
+
+@dataclass(frozen=True)
+class FeedRecord:
+    """One message on the public feed."""
+
+    domain: str
+    tld: str
+    seen_at: int
+    source: str = "ct"
+
+    def to_json(self) -> str:
+        payload = {
+            "domain": self.domain,
+            "tld": self.tld,
+            "seen_at": self.seen_at,
+            "seen_at_iso": isoformat(self.seen_at),
+            "source": self.source,
+        }
+        return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "FeedRecord":
+        payload = json.loads(line)
+        return cls(domain=payload["domain"], tld=payload["tld"],
+                   seen_at=int(payload["seen_at"]),
+                   source=payload.get("source", "ct"))
+
+
+class PublicFeed:
+    """An append-only, time-ordered detection feed."""
+
+    def __init__(self) -> None:
+        self._records: List[FeedRecord] = []
+        self._domains: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FeedRecord]:
+        return iter(self._records)
+
+    def publish(self, candidate: Candidate) -> FeedRecord:
+        record = FeedRecord(domain=candidate.domain, tld=candidate.tld,
+                            seen_at=candidate.ct_seen_at)
+        self._records.append(record)
+        self._domains.add(record.domain)
+        return record
+
+    def finalize(self) -> None:
+        """Sort by observation time (publishers may ingest out of order)."""
+        self._records.sort(key=lambda r: (r.seen_at, r.domain))
+
+    @property
+    def domains(self) -> Set[str]:
+        return set(self._domains)
+
+    def records_on_day(self, day_start: int) -> List[FeedRecord]:
+        day_start = day_floor(day_start)
+        return [r for r in self._records
+                if day_start <= r.seen_at < day_start + DAY]
+
+    def domains_on_day(self, day_start: int) -> Set[str]:
+        return {r.domain for r in self.records_on_day(day_start)}
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_jsonl(self, path: Path) -> int:
+        """Write the feed as JSON lines; returns the record count."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self._records:
+                fh.write(record.to_json())
+                fh.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def from_jsonl(cls, path: Path) -> "PublicFeed":
+        feed = cls()
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = FeedRecord.from_json(line)
+                feed._records.append(record)
+                feed._domains.add(record.domain)
+        return feed

@@ -1,0 +1,216 @@
+"""Pipeline step 3: reactive DNS monitoring of newly observed domains.
+
+The paper probes each newly observed domain with A, AAAA and NS queries
+every 10 minutes for its first 48 hours, from 16 workers behind caching
+resolvers capped at 60 s, with NS liveness asked *directly* of the TLD
+authority (§3 step 3).
+
+Two interchangeable execution strategies implement that specification:
+
+* :class:`LoopMonitor` replays the literal probe loop through
+  :class:`~repro.dnscore.resolver.ResolverPool` — faithful, and used by
+  tests and small scenarios;
+* :class:`AnalyticMonitor` computes what that loop *would have
+  observed* by intersecting the authoritative record timelines with the
+  probe grid — O(timeline segments) per domain instead of O(288 probes
+  × 3 qtypes), which is what makes 100 k-domain scenarios tractable.
+
+A property-based test asserts the two produce identical
+:class:`~repro.core.records.MonitorReport` objects; the ablation bench
+measures the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.records import MonitorReport
+from repro.dnscore.authserver import HostingAuthority
+from repro.dnscore.message import Query, RCode
+from repro.dnscore.records import RRType
+from repro.dnscore.resolver import ResolverPool
+from repro.registry.lifecycle import DomainLifecycle
+from repro.registry.registry import RegistryGroup
+from repro.simtime.clock import DAY, HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """The paper's probing parameters."""
+
+    probe_interval: int = 10 * MINUTE
+    duration: int = 48 * HOUR
+    workers: int = 16
+    resolver_cache_ttl: int = 60
+
+
+def _grid(start: int, end: int, step: int) -> range:
+    return range(start, end, step)
+
+
+class AnalyticMonitor:
+    """Timeline-sampling implementation (fast path)."""
+
+    def __init__(self, registries: RegistryGroup,
+                 config: MonitorConfig = MonitorConfig()) -> None:
+        self.registries = registries
+        self.config = config
+
+    def observe(self, domain: str, start: int) -> MonitorReport:
+        cfg = self.config
+        end = start + cfg.duration
+        probes = len(_grid(start, end, cfg.probe_interval)) * 3  # A/AAAA/NS
+        lifecycle = self.registries.find_lifecycle(domain)
+        if lifecycle is None:
+            # Ghost candidate: every probe answers NXDOMAIN.
+            return MonitorReport(
+                domain=domain, monitor_start=start, monitor_end=end,
+                probe_interval=cfg.probe_interval, probes=probes,
+                ever_resolved=False, last_ns_ok=None, ns_sets=(),
+                first_a=(), first_aaaa=(), ns_changed=False)
+        return self._observe_lifecycle(lifecycle, start, end, probes)
+
+    def _observe_lifecycle(self, lifecycle: DomainLifecycle, start: int,
+                           end: int, probes: int) -> MonitorReport:
+        cfg = self.config
+        step = cfg.probe_interval
+
+        def empty() -> MonitorReport:
+            return MonitorReport(
+                domain=lifecycle.domain, monitor_start=start, monitor_end=end,
+                probe_interval=step, probes=probes, ever_resolved=False,
+                last_ns_ok=None, ns_sets=(), first_a=(), first_aaaa=(),
+                ns_changed=False)
+
+        # Clip the probe window to the zone-presence interval: outside
+        # it every probe sees NXDOMAIN, exactly like the probe loop.
+        if lifecycle.zone_added_at is None:
+            return empty()
+        lo = max(start, lifecycle.zone_added_at)
+        hi = end if lifecycle.zone_removed_at is None else min(
+            end, lifecycle.zone_removed_at)
+        if lo >= hi:
+            return empty()
+        first_k = -(-(lo - start) // step)   # ceil
+        last_k = (hi - 1 - start) // step
+        if last_k < first_k:
+            return empty()  # delegation lived entirely between probes
+        last_ns_ok = start + last_k * step
+
+        def grid_hit(seg_start: int, seg_end: int) -> Optional[int]:
+            """First grid instant inside [seg_start, seg_end), if any."""
+            k = -(-(max(seg_start, lo) - start) // step)
+            ts = start + k * step
+            return ts if ts < min(seg_end, hi) else None
+
+        ns_sets: List[FrozenSet[str]] = []
+        for seg_start, seg_end, value in lifecycle.ns_timeline.segments(lo, hi):
+            if value is None or grid_hit(seg_start, seg_end) is None:
+                continue
+            if not ns_sets or ns_sets[-1] != value:
+                ns_sets.append(value)
+
+        first_a: Tuple[str, ...] = ()
+        first_aaaa: Tuple[str, ...] = ()
+        if not lifecycle.lame:
+            for seg_start, seg_end, value in lifecycle.a_timeline.segments(lo, hi):
+                if value and grid_hit(seg_start, seg_end) is not None:
+                    first_a = tuple(value)
+                    break
+            for seg_start, seg_end, value in lifecycle.aaaa_timeline.segments(lo, hi):
+                if value and grid_hit(seg_start, seg_end) is not None:
+                    first_aaaa = tuple(value)
+                    break
+
+        return MonitorReport(
+            domain=lifecycle.domain, monitor_start=start, monitor_end=end,
+            probe_interval=step, probes=probes,
+            ever_resolved=True,
+            last_ns_ok=last_ns_ok,
+            ns_sets=tuple(ns_sets),
+            first_a=first_a, first_aaaa=first_aaaa,
+            ns_changed=len(ns_sets) > 1)
+
+
+class LoopMonitor:
+    """Literal probe-loop implementation over real resolvers."""
+
+    def __init__(self, registries: RegistryGroup,
+                 config: MonitorConfig = MonitorConfig()) -> None:
+        self.registries = registries
+        self.config = config
+        self.pool = ResolverPool(size=config.workers,
+                                 max_cache_ttl=config.resolver_cache_ttl)
+        for registry in registries:
+            self.pool.register_tld_authority(registry.tld,
+                                             registry.authority())
+        self.pool.set_hosting_authority(HostingAuthority(
+            record_oracle=self._hosting_records,
+            lameness_oracle=self._is_lame))
+
+    # -- hosting-side oracles ----------------------------------------------------
+
+    def _hosting_records(self, domain: str, qtype: RRType,
+                         ts: int) -> Optional[Tuple[str, ...]]:
+        lifecycle = self.registries.find_lifecycle(domain)
+        if lifecycle is None:
+            return None
+        family = 4 if qtype is RRType.A else 6
+        if qtype not in (RRType.A, RRType.AAAA):
+            ns = lifecycle.nameservers_at(ts)
+            return tuple(sorted(ns)) if ns else None
+        return lifecycle.addresses_at(ts, family)
+
+    def _is_lame(self, domain: str, ts: int) -> bool:
+        lifecycle = self.registries.find_lifecycle(domain)
+        return lifecycle is not None and lifecycle.lame
+
+    # -- the probe loop --------------------------------------------------------------
+
+    def observe(self, domain: str, start: int) -> MonitorReport:
+        cfg = self.config
+        end = start + cfg.duration
+        resolver = self.pool.resolver_for(domain)
+        probes = 0
+        last_ns_ok: Optional[int] = None
+        ns_sets: List[FrozenSet[str]] = []
+        first_a: Tuple[str, ...] = ()
+        first_aaaa: Tuple[str, ...] = ()
+        for ts in _grid(start, end, cfg.probe_interval):
+            # NS liveness straight at the TLD authority (no cache, no
+            # recursion): lame delegation must not look like deletion.
+            ns_response = resolver.query_authority_direct(
+                Query(domain, RRType.NS), ts)
+            probes += 1
+            if ns_response.rcode is RCode.NOERROR and ns_response.records:
+                last_ns_ok = ts
+                observed = frozenset(r.rdata for r in ns_response.records)
+                if not ns_sets or ns_sets[-1] != observed:
+                    ns_sets.append(observed)
+            a_response = resolver.resolve_at(Query(domain, RRType.A), ts)
+            probes += 1
+            if not first_a and a_response.is_positive:
+                first_a = tuple(sorted(a_response.rdatas()))
+            aaaa_response = resolver.resolve_at(Query(domain, RRType.AAAA), ts)
+            probes += 1
+            if not first_aaaa and aaaa_response.is_positive:
+                first_aaaa = tuple(sorted(aaaa_response.rdatas()))
+        return MonitorReport(
+            domain=domain, monitor_start=start, monitor_end=end,
+            probe_interval=cfg.probe_interval, probes=probes,
+            ever_resolved=last_ns_ok is not None,
+            last_ns_ok=last_ns_ok, ns_sets=tuple(ns_sets),
+            first_a=first_a, first_aaaa=first_aaaa,
+            ns_changed=len(ns_sets) > 1)
+
+
+def make_monitor(registries: RegistryGroup,
+                 config: MonitorConfig = MonitorConfig(),
+                 strategy: str = "analytic"):
+    """Factory for the configured execution strategy."""
+    if strategy == "analytic":
+        return AnalyticMonitor(registries, config)
+    if strategy == "loop":
+        return LoopMonitor(registries, config)
+    raise ValueError(f"unknown monitor strategy: {strategy!r}")

@@ -1,0 +1,133 @@
+"""The DarkDNS pipeline: all five steps, wired through the broker.
+
+``DarkDNSPipeline(world).run()`` reproduces the paper's §3 methodology
+end to end against a scenario world:
+
+1. CT detection (Certstream → candidates, PSL + snapshot filter);
+2. RDAP collection (IP-cycling client, no retries);
+3. reactive DNS monitoring (A/AAAA/NS every 10 min for 48 h);
+4. RDAP/CT cross-validation;
+5. transient identification (±3-day snapshot slack).
+
+Each stage also publishes to its topic, so examples can demonstrate the
+streaming shape of the deployment; the returned
+:class:`~repro.core.records.PipelineResult` is what the analyses and
+benchmark harnesses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.bus.broker import TOPIC_FEED, TOPIC_OBSERVATIONS
+from repro.core.ctdetect import CTDetector
+from repro.core.feed import PublicFeed
+from repro.core.monitor import MonitorConfig, make_monitor
+from repro.core.rdap_collect import RDAPCollector, RDAPCollectorConfig
+from repro.core.records import PipelineResult
+from repro.core.transient import TransientClassifier
+from repro.core.validate import Validator, ValidatorConfig
+from repro.dnscore.psl import PublicSuffixList
+from repro.workload.scenario import World
+
+
+@dataclass
+class PipelineConfig:
+    """Tunables of a pipeline run (defaults = the paper's setup)."""
+
+    rdap: RDAPCollectorConfig = field(default_factory=RDAPCollectorConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    validator: ValidatorConfig = field(default_factory=ValidatorConfig)
+    #: "analytic" (timeline sampling) or "loop" (literal probe loop).
+    monitor_strategy: str = "analytic"
+    #: Monitor every candidate (True) or skip monitoring (False) — the
+    #: RZU cadence ablation does not need probes and saves the work.
+    run_monitor: bool = True
+    #: Optional PSL override (the PSL ablation injects a buggy one).
+    psl: Optional[PublicSuffixList] = None
+
+
+class DarkDNSPipeline:
+    """One configured pipeline bound to a world."""
+
+    def __init__(self, world: World,
+                 config: Optional[PipelineConfig] = None) -> None:
+        self.world = world
+        self.config = config if config is not None else PipelineConfig()
+        self.feed = PublicFeed()
+
+    def run(self) -> PipelineResult:
+        world = self.world
+        config = self.config
+        window = world.window
+
+        # Step 1 — CT detection.
+        detector = CTDetector(
+            archive=world.archive,
+            known_tlds=world.registries.tlds(),
+            psl=config.psl,
+            broker=world.broker)
+        candidates = detector.run(world.certstream, window.start, window.end)
+
+        # Public feed (contribution 2).
+        for candidate in candidates.values():
+            record = self.feed.publish(candidate)
+            world.broker.produce(TOPIC_FEED, record.domain, record,
+                                 record.seen_at)
+        self.feed.finalize()
+
+        # Step 2 — RDAP collection.
+        collector = RDAPCollector(world.registries, config.rdap,
+                                  broker=world.broker)
+        rdap_results = collector.collect(candidates.values())
+
+        # Step 3 — reactive monitoring.
+        monitors = {}
+        if config.run_monitor:
+            monitor = make_monitor(world.registries, config.monitor,
+                                   strategy=config.monitor_strategy)
+            for domain, candidate in candidates.items():
+                report = monitor.observe(domain, candidate.ct_seen_at)
+                monitors[domain] = report
+                world.broker.produce(TOPIC_OBSERVATIONS, domain, report,
+                                     candidate.ct_seen_at)
+
+        # Step 4 — validation.
+        validator = Validator(config.validator)
+        verdicts = validator.validate_all(candidates, rdap_results)
+
+        # Step 5 — transient identification.
+        classifier = TransientClassifier(world.registries, world.archive)
+        breakdown = classifier.classify(candidates, verdicts)
+
+        result = PipelineResult(
+            window_start=window.start, window_end=window.end,
+            candidates=candidates, rdap=rdap_results, monitors=monitors,
+            verdicts=verdicts,
+            transient_candidates=breakdown.candidates,
+            confirmed_transients=breakdown.confirmed,
+            rdap_failed_transients=breakdown.rdap_failed,
+            misclassified_transients=breakdown.misclassified)
+        result.stats = {
+            "certstream_events": detector.stats.events,
+            "names_seen": detector.stats.names_seen,
+            "psl_failures": detector.stats.psl_failures,
+            "filtered_in_zone": detector.stats.filtered_in_zone,
+            "duplicates": detector.stats.duplicates,
+            "candidates": detector.stats.candidates,
+            "rdap_queries": len(rdap_results),
+            "rdap_failures": sum(1 for r in rdap_results.values() if not r.ok),
+            "monitored": len(monitors),
+            "transient_candidates": len(breakdown.candidates),
+            "confirmed_transients": len(breakdown.confirmed),
+            "rdap_failed_transients": len(breakdown.rdap_failed),
+            "misclassified_transients": len(breakdown.misclassified),
+        }
+        return result
+
+
+def run_pipeline(world: World,
+                 config: Optional[PipelineConfig] = None) -> PipelineResult:
+    """Convenience: build, run, and return the result."""
+    return DarkDNSPipeline(world, config).run()

@@ -1,0 +1,35 @@
+"""Certificate Transparency substrate: certs, Merkle trees, logs, CAs, feed."""
+
+from repro.ct.certificate import Certificate, MAX_VALIDITY, make_precert
+from repro.ct.merkle import (
+    MerkleTree,
+    consistency_proof,
+    inclusion_proof,
+    leaf_hash,
+    node_hash,
+    root_of,
+    verify_consistency,
+    verify_inclusion,
+)
+from repro.ct.ctlog import CTLog, LogEntry, SignedTreeHead
+from repro.ct.ca import (
+    CA_PROFILES,
+    CAProfile,
+    CertificateAuthority,
+    DV_TOKEN_VALIDITY,
+    DVToken,
+    IssuanceRecord,
+    pick_ca,
+)
+from repro.ct.certstream import CertstreamEvent, CertstreamFeed
+
+__all__ = [
+    "Certificate", "make_precert", "MAX_VALIDITY",
+    "MerkleTree", "leaf_hash", "node_hash", "root_of",
+    "inclusion_proof", "verify_inclusion",
+    "consistency_proof", "verify_consistency",
+    "CTLog", "LogEntry", "SignedTreeHead",
+    "CertificateAuthority", "CAProfile", "CA_PROFILES",
+    "DVToken", "DV_TOKEN_VALIDITY", "IssuanceRecord", "pick_ca",
+    "CertstreamEvent", "CertstreamFeed",
+]

@@ -1,0 +1,107 @@
+"""X.509-shaped certificate objects (the fields CT consumers see).
+
+The pipeline extracts domain names from the Common Name and Subject
+Alternative Name fields of *precertificates* (RFC 6962 requires the
+precertificate to be logged before final issuance, which is why the
+paper restricts itself to PreCertificate entries — they are guaranteed
+to appear before the certificate is used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.dnscore import name as dnsname
+from repro.errors import CTError
+from repro.simtime.clock import DAY
+
+
+#: Maximum certificate lifetime per CA/B Forum BR v2 (398 days) — the
+#: same constant bounds DV-token reuse (§3 footnote 2).
+MAX_VALIDITY = 398 * DAY
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A (pre)certificate as seen through CT.
+
+    ``is_precert`` distinguishes the precertificate (logged before
+    issuance) from the final certificate; the pipeline only consumes
+    precerts.
+    """
+
+    serial: int
+    common_name: str
+    sans: Tuple[str, ...]
+    issuer: str
+    not_before: int
+    not_after: int
+    is_precert: bool = True
+    #: True when the CA skipped fresh domain validation and relied on a
+    #: cached DV token (the §4.2 cause-(iii) mechanism).
+    reused_validation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.not_after <= self.not_before:
+            raise CTError("certificate expires before it begins")
+        if self.not_after - self.not_before > MAX_VALIDITY:
+            raise CTError("certificate exceeds 398-day maximum validity")
+        object.__setattr__(self, "common_name",
+                           dnsname.normalize(dnsname.strip_wildcard(self.common_name)))
+        object.__setattr__(self, "sans", tuple(self.sans))
+
+    def dns_names(self) -> List[str]:
+        """All DNS names covered: CN plus SANs, wildcards stripped,
+        de-duplicated, invalid entries dropped (CT logs contain junk)."""
+        names: List[str] = []
+        seen = set()
+        for raw in (self.common_name, *self.sans):
+            try:
+                name = dnsname.strip_wildcard(raw)
+            except Exception:
+                continue
+            if name and name not in seen:
+                seen.add(name)
+                names.append(name)
+        return names
+
+    @property
+    def validity(self) -> int:
+        return self.not_after - self.not_before
+
+    def leaf_bytes(self) -> bytes:
+        """Canonical encoding hashed into the CT Merkle tree."""
+        payload = "|".join([
+            str(self.serial), self.common_name, ",".join(self.sans),
+            self.issuer, str(self.not_before), str(self.not_after),
+            "pre" if self.is_precert else "final",
+        ])
+        return payload.encode("utf-8")
+
+
+def make_precert(serial: int, domain: str, issuer: str, issued_at: int,
+                 extra_sans: Iterable[str] = (),
+                 validity: int = 90 * DAY,
+                 include_www: bool = True,
+                 reused_validation: bool = False) -> Certificate:
+    """Build a typical DV precertificate for a registrable domain.
+
+    Let's Encrypt-style issuance covers the bare domain plus ``www.``;
+    ``extra_sans`` lets workload models add subdomains.
+    """
+    norm = dnsname.normalize(domain)
+    sans = [norm]
+    if include_www:
+        sans.append(f"www.{norm}")
+    sans.extend(dnsname.normalize(s) for s in extra_sans)
+    return Certificate(
+        serial=serial,
+        common_name=norm,
+        sans=tuple(dict.fromkeys(sans)),
+        issuer=issuer,
+        not_before=issued_at,
+        not_after=issued_at + min(validity, MAX_VALIDITY),
+        is_precert=True,
+        reused_validation=reused_validation,
+    )

@@ -1,0 +1,10 @@
+"""Zone snapshot services: CZDS-style archives and historical zone data."""
+
+from repro.czds.snapshot import SnapshotMeta, SnapshotSchedule
+from repro.czds.archive import SnapshotArchive
+from repro.czds.dzdb import DZDB, HistoricalRecord
+
+__all__ = [
+    "SnapshotMeta", "SnapshotSchedule", "SnapshotArchive",
+    "DZDB", "HistoricalRecord",
+]

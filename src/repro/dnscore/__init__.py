@@ -1,0 +1,82 @@
+"""DNS core substrate: names, records, zones, PSL, servers, resolvers."""
+
+from repro.dnscore.name import (
+    ancestors,
+    is_subdomain,
+    is_valid,
+    join,
+    label_count,
+    labels,
+    normalize,
+    parent,
+    registrable_guess,
+    strip_wildcard,
+    tld_of,
+)
+from repro.dnscore.records import (
+    MONITOR_QTYPES,
+    RRSet,
+    RRType,
+    ResourceRecord,
+    SOA,
+    a_rrset,
+    aaaa_rrset,
+    ns_rrset,
+    serial_add,
+    serial_gt,
+    soa_for_tld,
+)
+from repro.dnscore.zone import (
+    Delegation,
+    Zone,
+    ZoneVersion,
+    domains_added,
+    domains_removed,
+    nameserver_changes,
+)
+from repro.dnscore.zonediff import DiffSequence, ZoneDelta, merge_nrd_maps
+from repro.dnscore.psl import (
+    BUILTIN_RULES,
+    BuggyPublicSuffixList,
+    PublicSuffixList,
+    default_psl,
+    registrable_domain,
+)
+from repro.dnscore.message import Query, RCode, Response, noerror, nxdomain, servfail, timeout
+from repro.dnscore.cache import CacheStats, ResolverCache
+from repro.dnscore.authserver import (
+    AuthorityBackend,
+    HostingAuthority,
+    StaticAuthority,
+    TLDAuthority,
+)
+from repro.dnscore.resolver import CachingResolver, ResolverPool, ResolverStats
+from repro.dnscore.wire import (
+    WireError,
+    WireMessage,
+    decode_message,
+    decode_name,
+    encode_name,
+    encode_query,
+    encode_response,
+)
+from repro.errors import DomainNameError
+
+__all__ = [
+    "normalize", "is_valid", "labels", "label_count", "parent", "tld_of",
+    "is_subdomain", "strip_wildcard", "ancestors", "join", "registrable_guess",
+    "RRType", "ResourceRecord", "RRSet", "SOA", "MONITOR_QTYPES",
+    "a_rrset", "aaaa_rrset", "ns_rrset", "serial_add", "serial_gt", "soa_for_tld",
+    "Zone", "ZoneVersion", "Delegation",
+    "domains_added", "domains_removed", "nameserver_changes",
+    "DiffSequence", "ZoneDelta", "merge_nrd_maps",
+    "PublicSuffixList", "BuggyPublicSuffixList", "BUILTIN_RULES",
+    "default_psl", "registrable_domain",
+    "Query", "Response", "RCode", "noerror", "nxdomain", "servfail", "timeout",
+    "ResolverCache", "CacheStats",
+    "AuthorityBackend", "TLDAuthority", "HostingAuthority", "StaticAuthority",
+    "CachingResolver", "ResolverPool", "ResolverStats",
+    "WireError", "WireMessage", "decode_message", "decode_name",
+    "encode_name", "encode_query", "encode_response",
+    "DomainNameError",
+]

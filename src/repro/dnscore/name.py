@@ -1,0 +1,151 @@
+"""Domain names: parsing, validation, and hierarchy operations.
+
+Names are represented as immutable, lower-cased, dot-joined label
+strings *without* the trailing root dot (``"example.com"``); the root
+zone is the empty string.  Validation follows RFC 1035 limits (63-octet
+labels, 253-octet names) with LDH (letters-digits-hyphen) label syntax,
+plus ``xn--`` A-labels passing through untouched — the paper's pipeline
+operates on names extracted from certificates, which are A-labels.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Iterable, List, Tuple
+
+from repro.errors import DomainNameError
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 253
+
+_LABEL_RE = re.compile(r"^(?!-)[a-z0-9-]{1,63}(?<!-)$")
+_WILDCARD = "*"
+
+
+def _check_label(label: str) -> str:
+    if label == _WILDCARD:
+        return label
+    if not _LABEL_RE.match(label):
+        raise DomainNameError(f"invalid DNS label: {label!r}")
+    return label
+
+
+@lru_cache(maxsize=200_000)
+def normalize(name: str) -> str:
+    """Normalise a textual domain name.
+
+    Lower-cases, strips one trailing dot, validates each label, and
+    returns the canonical form.  Raises
+    :class:`~repro.errors.DomainNameError` for malformed names.
+    """
+    if not isinstance(name, str):
+        raise DomainNameError(f"domain name must be str, got {type(name).__name__}")
+    text = name.strip().lower()
+    if text.endswith("."):
+        text = text[:-1]
+    if text == "":
+        return ""
+    if len(text) > MAX_NAME_LENGTH:
+        raise DomainNameError(f"name exceeds {MAX_NAME_LENGTH} octets: {text[:64]}...")
+    labels = text.split(".")
+    for label in labels:
+        _check_label(label)
+    return ".".join(labels)
+
+
+def is_valid(name: str) -> bool:
+    """True if ``name`` parses as a syntactically valid domain name."""
+    try:
+        normalize(name)
+        return True
+    except DomainNameError:
+        return False
+
+
+def labels(name: str) -> List[str]:
+    """Labels of a normalised name, left to right; root → []."""
+    norm = normalize(name)
+    return norm.split(".") if norm else []
+
+
+def label_count(name: str) -> int:
+    return len(labels(name))
+
+
+def parent(name: str) -> str:
+    """Immediate parent (``"a.b.c"`` → ``"b.c"``); root's parent is root."""
+    parts = labels(name)
+    return ".".join(parts[1:]) if parts else ""
+
+
+def tld_of(name: str) -> str:
+    """Rightmost label (``"a.b.com"`` → ``"com"``)."""
+    parts = labels(name)
+    if not parts:
+        raise DomainNameError("the root has no TLD")
+    return parts[-1]
+
+
+def is_subdomain(name: str, ancestor: str) -> bool:
+    """True if ``name`` equals or falls under ``ancestor``."""
+    child = labels(name)
+    anc = labels(ancestor)
+    if not anc:
+        return True
+    return len(child) >= len(anc) and child[-len(anc):] == anc
+
+def strip_wildcard(name: str) -> str:
+    """Drop a leading ``*.`` wildcard label (certificate SANs use them)."""
+    norm = normalize(name)
+    if norm.startswith("*."):
+        return norm[2:]
+    return norm
+
+
+def ancestors(name: str) -> Iterable[str]:
+    """Yield proper ancestors from the immediate parent up to the TLD."""
+    parts = labels(name)
+    for i in range(1, len(parts)):
+        yield ".".join(parts[i:])
+
+
+def join(*parts: str) -> str:
+    """Join name fragments (``join("www", "example.com")``)."""
+    pieces = [p for p in parts if p not in ("", ".")]
+    return normalize(".".join(pieces))
+
+
+def split_sld(name: str, tld: str) -> Tuple[str, str]:
+    """Split ``name`` into (sld, tld) assuming a one-label public suffix.
+
+    This is the *naive* split; PSL-aware extraction lives in
+    :mod:`repro.dnscore.psl`.  Raises if the name is not under ``tld``.
+    """
+    norm = normalize(name)
+    tld_norm = normalize(tld)
+    if not is_subdomain(norm, tld_norm):
+        raise DomainNameError(f"{norm!r} is not under .{tld_norm}")
+    remainder = norm[: -(len(tld_norm) + 1)] if tld_norm else norm
+    if not remainder:
+        raise DomainNameError(f"{norm!r} is the TLD itself")
+    return remainder.split(".")[-1], tld_norm
+
+
+def registrable_guess(name: str) -> str:
+    """Last two labels of a name — the PSL-free fallback guess.
+
+    The paper notes (§4.1) that incorrect SLD extraction via the PSL is
+    one source of misclassified "newly registered" domains; keeping the
+    naive guess around lets tests and ablations exercise that failure
+    mode explicitly.
+    """
+    parts = labels(name)
+    if len(parts) < 2:
+        raise DomainNameError(f"{name!r} has no registrable part")
+    return ".".join(parts[-2:])
+
+
+def canonical_order_key(name: str) -> Tuple[str, ...]:
+    """Sort key for DNSSEC-style canonical ordering (labels reversed)."""
+    return tuple(reversed(labels(name)))

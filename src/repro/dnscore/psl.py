@@ -1,0 +1,173 @@
+"""Public Suffix List: registrable-domain extraction.
+
+The paper's step 1 extracts the *registered (pay-level) domain* from
+certificate CN/SAN names using the PSL, and step 4 attributes some
+misclassifications to incorrect SLD extraction.  This module implements
+the PSL algorithm (normal rules, wildcard rules, exceptions) over an
+embedded rule set covering the TLDs the simulation uses, plus the
+multi-label suffixes needed to exercise the tricky paths
+(``co.uk``-style wildcards and exceptions).
+
+The rule semantics follow https://publicsuffix.org/list/ :
+
+* the longest matching rule wins;
+* ``*`` labels match exactly one label;
+* exception rules (``!``) override wildcard rules;
+* if no rule matches, the implicit rule ``*`` (the TLD itself) applies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dnscore import name as dnsname
+from repro.errors import PSLError
+
+#: Rules shipped with the library: every gTLD/ccTLD the scenarios use,
+#: plus structurally interesting multi-label suffixes.
+BUILTIN_RULES: Tuple[str, ...] = (
+    # gTLDs from the paper's Table 1/2.
+    "com", "net", "org", "xyz", "shop", "online", "bond", "top", "site",
+    "store", "fun", "icu", "info", "biz", "live", "club", "vip", "lol",
+    "cfd", "sbs", "click", "pro", "app", "dev", "io",
+    # ccTLDs (the .nl ground-truth comparison, plus neighbours).
+    "nl", "de", "uk", "eu", "be", "fr", "us",
+    # Multi-label public suffixes.
+    "co.uk", "org.uk", "ac.uk", "gov.uk",
+    "amsterdam.nl",
+    # Wildcard + exception structure (modelled after real PSL entries).
+    "*.ck", "!www.ck",
+    "*.kawasaki.jp", "jp", "co.jp",
+    # Private-section style suffixes: hosting platforms whose customers
+    # get subdomains; certificates for these must NOT be treated as
+    # registrable-domain observations of the platform domain itself.
+    "github.io", "netlify.app", "pages.dev", "workers.dev",
+    "azurewebsites.net", "cloudfront.net", "herokuapp.com",
+)
+
+
+class PublicSuffixList:
+    """PSL matcher with registrable-domain extraction."""
+
+    def __init__(self, rules: Iterable[str] = BUILTIN_RULES) -> None:
+        self._exact: Dict[Tuple[str, ...], bool] = {}
+        self._wildcards: Dict[Tuple[str, ...], bool] = {}
+        self._exceptions: Dict[Tuple[str, ...], bool] = {}
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: str) -> None:
+        text = rule.strip().lower()
+        if not text:
+            return
+        if text.startswith("!"):
+            key = tuple(reversed(text[1:].split(".")))
+            self._exceptions[key] = True
+        elif text.startswith("*."):
+            key = tuple(reversed(text[2:].split(".")))
+            self._wildcards[key] = True
+        else:
+            key = tuple(reversed(text.split(".")))
+            self._exact[key] = True
+
+    # -- core algorithm ---------------------------------------------------------
+
+    def suffix_length(self, name: str) -> int:
+        """Number of labels in the public suffix of ``name``.
+
+        Implements the PSL matching algorithm; the implicit ``*`` rule
+        means an unknown TLD still yields a 1-label suffix.
+        """
+        labels = tuple(reversed(dnsname.labels(name)))
+        if not labels:
+            raise PSLError("the root name has no public suffix")
+        best = 1  # implicit '*' rule
+        # Exception rules: the matched label count is the rule length - 1.
+        for depth in range(1, len(labels) + 1):
+            prefix = labels[:depth]
+            if prefix in self._exceptions:
+                return depth - 1
+        for depth in range(1, len(labels) + 1):
+            prefix = labels[:depth]
+            if prefix in self._exact and depth > best:
+                best = depth
+            # A wildcard rule '*.foo' has key ('foo',) and matches
+            # depth len(key)+1.
+            if depth >= 2 and prefix[:-1] in self._wildcards and depth > best:
+                best = depth
+        return best
+
+    def public_suffix(self, name: str) -> str:
+        """The public suffix of ``name`` (e.g. ``"co.uk"``)."""
+        labels = dnsname.labels(name)
+        n = self.suffix_length(name)
+        if n >= len(labels):
+            # The name IS a public suffix (or shorter).
+            return ".".join(labels)
+        return ".".join(labels[-n:])
+
+    def is_public_suffix(self, name: str) -> bool:
+        labels = dnsname.labels(name)
+        return len(labels) <= self.suffix_length(name)
+
+    def registrable_domain(self, name: str) -> str:
+        """The registered / pay-level domain: public suffix + one label.
+
+        Raises :class:`~repro.errors.PSLError` when the name is itself a
+        public suffix (no registrable part) — callers in the pipeline
+        treat that as a discard.
+        """
+        norm = dnsname.strip_wildcard(name)
+        labels = dnsname.labels(norm)
+        n = self.suffix_length(norm)
+        if len(labels) <= n:
+            raise PSLError(f"{norm!r} is a public suffix; no registrable domain")
+        return ".".join(labels[-(n + 1):])
+
+    def registrable_or_none(self, name: str) -> Optional[str]:
+        """Like :meth:`registrable_domain` but returns None on failure."""
+        try:
+            return self.registrable_domain(name)
+        except (PSLError, Exception) as exc:  # noqa: BLE001 - name errors too
+            if isinstance(exc, PSLError):
+                return None
+            from repro.errors import DomainNameError
+            if isinstance(exc, DomainNameError):
+                return None
+            raise
+
+    def split(self, name: str) -> Tuple[str, str]:
+        """Split into (registrable domain, public suffix)."""
+        reg = self.registrable_domain(name)
+        return reg, self.public_suffix(name)
+
+
+class BuggyPublicSuffixList(PublicSuffixList):
+    """A PSL with deliberately missing multi-label rules.
+
+    The paper attributes part of Figure 1's long tail to *incorrect SLD
+    extraction using the PSL*.  This variant drops every multi-label
+    rule, so names under e.g. ``co.uk`` are truncated to ``co.uk``'s
+    last two labels — the classic failure mode.  Used by the DV/PSL
+    ablation and by tests.
+    """
+
+    def __init__(self, rules: Iterable[str] = BUILTIN_RULES) -> None:
+        single_label = [r for r in rules if "." not in r and not r.startswith(("!", "*"))]
+        super().__init__(single_label)
+
+
+_DEFAULT: Optional[PublicSuffixList] = None
+
+
+def default_psl() -> PublicSuffixList:
+    """Process-wide default PSL instance (built on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PublicSuffixList()
+    return _DEFAULT
+
+
+def registrable_domain(name: str) -> str:
+    """Module-level convenience over :func:`default_psl`."""
+    return default_psl().registrable_domain(name)

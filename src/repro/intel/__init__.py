@@ -1,0 +1,16 @@
+"""Threat-intelligence substrate: blocklists, NOD feed, ground truth."""
+
+from repro.intel.blocklist import (
+    Blocklist,
+    BlocklistEntry,
+    BlocklistPanel,
+    DEFAULT_BLOCKLISTS,
+)
+from repro.intel.nod import NODConfig, NODFeed
+from repro.intel.labels import GroundTruth
+
+__all__ = [
+    "Blocklist", "BlocklistEntry", "BlocklistPanel", "DEFAULT_BLOCKLISTS",
+    "NODConfig", "NODFeed",
+    "GroundTruth",
+]

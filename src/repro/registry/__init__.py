@@ -1,0 +1,43 @@
+"""Registry substrate: TLD policies, lifecycles, registrars, RDAP."""
+
+from repro.registry.lifecycle import (
+    AbuseKind,
+    DomainLifecycle,
+    DomainStatus,
+    RemovalReason,
+)
+from repro.registry.policy import (
+    DEFAULT_POLICIES,
+    TLDPolicy,
+    cctld,
+    gtld,
+    policy_for,
+)
+from repro.registry.registrar import (
+    ALL_REGISTRARS,
+    NORMAL_REGISTRAR_MIX,
+    Registrar,
+    RegistrarMix,
+    TRANSIENT_REGISTRAR_MIX,
+    TakedownModel,
+    registrar_by_name,
+)
+from repro.registry.registry import Registry, RegistryGroup
+from repro.registry.rdap import (
+    RDAPClient,
+    RDAPFailure,
+    RDAPRecord,
+    RDAPResult,
+    RDAPServer,
+    TokenBucket,
+)
+
+__all__ = [
+    "TLDPolicy", "DEFAULT_POLICIES", "policy_for", "gtld", "cctld",
+    "DomainLifecycle", "DomainStatus", "RemovalReason", "AbuseKind",
+    "Registrar", "RegistrarMix", "TakedownModel", "ALL_REGISTRARS",
+    "TRANSIENT_REGISTRAR_MIX", "NORMAL_REGISTRAR_MIX", "registrar_by_name",
+    "Registry", "RegistryGroup",
+    "RDAPClient", "RDAPServer", "RDAPRecord", "RDAPResult", "RDAPFailure",
+    "TokenBucket",
+]

@@ -1,0 +1,254 @@
+"""The TLD registry: registration system + zone provisioning.
+
+One :class:`Registry` per TLD owns the ground-truth
+:class:`~repro.registry.lifecycle.DomainLifecycle` records and derives
+everything observable from them:
+
+* the **zone state at any instant** (respecting the provisioning
+  cadence — a registration only becomes visible at the next zone tick);
+* the **SOA serial** (one bump per provisioning run that changed
+  anything, which is what the paper probed to validate cadences);
+* the **registration-system log**, i.e. the registry's own view used as
+  ground truth in §4.4 (".nl saw 714 domains deleted in <24 h").
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.dnscore import name as dnsname
+from repro.dnscore.authserver import TLDAuthority
+from repro.dnscore.zone import Delegation, ZoneVersion
+from repro.errors import RegistrationError, UnknownDomainError
+from repro.registry.lifecycle import DomainLifecycle, RemovalReason
+from repro.registry.policy import TLDPolicy
+from repro.simtime.clock import DAY
+
+
+class Registry:
+    """Authoritative operator of one TLD."""
+
+    def __init__(self, policy: TLDPolicy) -> None:
+        self.policy = policy
+        self.tld = policy.tld
+        self._lifecycles: Dict[str, DomainLifecycle] = {}
+        #: Zone tick indices at which at least one mutation applied;
+        #: the SOA serial at time t is the count of such ticks <= t.
+        self._dirty_ticks: Set[int] = set()
+        self._serial_cache: Optional[List[int]] = None
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, domain: str, created_at: int, registrar: str,
+                 ns_hosts: Iterable[str],
+                 a_addrs: Iterable[str] = (),
+                 aaaa_addrs: Iterable[str] = (),
+                 dns_provider: str = "", web_provider: str = "",
+                 is_malicious: bool = False, abuse_kind=None,
+                 actor: str = "legit", campaign: Optional[str] = None,
+                 held: bool = False, lame: bool = False,
+                 rdap_sync_lag: Optional[int] = None) -> DomainLifecycle:
+        """Create a registration; the delegation publishes at the next tick."""
+        norm = dnsname.normalize(domain)
+        if norm in self._lifecycles:
+            raise RegistrationError(f"{norm} is already registered")
+        if dnsname.tld_of(norm) != self.tld:
+            raise RegistrationError(f"{norm} does not belong under .{self.tld}")
+        zone_added_at = None if held else self.policy.next_zone_tick(created_at)
+        lifecycle = DomainLifecycle(
+            domain=norm, tld=self.tld, registrar=registrar,
+            created_at=created_at, zone_added_at=zone_added_at,
+            dns_provider=dns_provider, web_provider=web_provider,
+            is_malicious=is_malicious, abuse_kind=abuse_kind, actor=actor,
+            campaign=campaign, held=held, lame=lame,
+            rdap_sync_lag=(rdap_sync_lag if rdap_sync_lag is not None
+                           else self.policy.rdap_sync_lag_mean),
+        )
+        if zone_added_at is not None:
+            lifecycle.ns_timeline.set(zone_added_at, frozenset(
+                dnsname.normalize(h) for h in ns_hosts))
+            a_tuple = tuple(sorted(a_addrs))
+            aaaa_tuple = tuple(sorted(aaaa_addrs))
+            if a_tuple:
+                lifecycle.a_timeline.set(zone_added_at, a_tuple)
+            if aaaa_tuple:
+                lifecycle.aaaa_timeline.set(zone_added_at, aaaa_tuple)
+            self._mark_dirty(zone_added_at)
+        self._lifecycles[norm] = lifecycle
+        return lifecycle
+
+    def schedule_removal(self, domain: str, removed_at: int,
+                         reason: Optional[RemovalReason] = None) -> DomainLifecycle:
+        """Registrar-initiated removal; the zone drops it at the next tick."""
+        lifecycle = self.get(domain)
+        if removed_at < lifecycle.created_at:
+            raise RegistrationError(
+                f"{lifecycle.domain}: removal precedes creation")
+        lifecycle.removed_at = removed_at
+        lifecycle.removal_reason = reason
+        if lifecycle.zone_added_at is not None:
+            zone_removed_at = self.policy.next_zone_tick(removed_at)
+            # A domain removed before its first provisioning run never
+            # reaches the zone at all.
+            if zone_removed_at <= lifecycle.zone_added_at:
+                lifecycle.zone_added_at = None
+                lifecycle.zone_removed_at = None
+                lifecycle.ns_timeline = type(lifecycle.ns_timeline)()
+                lifecycle.a_timeline = type(lifecycle.a_timeline)()
+                lifecycle.aaaa_timeline = type(lifecycle.aaaa_timeline)()
+            else:
+                lifecycle.zone_removed_at = zone_removed_at
+                self._mark_dirty(zone_removed_at)
+        return lifecycle
+
+    def place_hold(self, domain: str, hold_at: int) -> DomainLifecycle:
+        """Put a registered domain on serverHold: the delegation leaves
+        the zone at the next provisioning run but the registration
+        object survives (RDAP keeps answering with the old creation
+        date) — the §4.2 "misclassified as newly registered" mechanism.
+        """
+        lifecycle = self.get(domain)
+        lifecycle.held = True
+        if lifecycle.zone_added_at is not None:
+            zone_removed_at = self.policy.next_zone_tick(hold_at)
+            if zone_removed_at <= lifecycle.zone_added_at:
+                lifecycle.zone_added_at = None
+            else:
+                lifecycle.zone_removed_at = zone_removed_at
+                self._mark_dirty(zone_removed_at)
+        return lifecycle
+
+    def change_nameservers(self, domain: str, change_at: int,
+                           ns_hosts: Iterable[str],
+                           a_addrs: Iterable[str] = (),
+                           dns_provider: Optional[str] = None) -> None:
+        """Registrant changes NS; publishes at the next provisioning run."""
+        lifecycle = self.get(domain)
+        if lifecycle.zone_added_at is None:
+            raise RegistrationError(f"{domain} is not delegated")
+        effective = self.policy.next_zone_tick(change_at)
+        lifecycle.ns_timeline.set(effective, frozenset(
+            dnsname.normalize(h) for h in ns_hosts))
+        if a_addrs:
+            lifecycle.a_timeline.set(effective, tuple(sorted(a_addrs)))
+        if dns_provider is not None:
+            lifecycle.dns_provider = dns_provider
+        self._mark_dirty(effective)
+
+    # -- lookup -----------------------------------------------------------------
+
+    def get(self, domain: str) -> DomainLifecycle:
+        norm = dnsname.normalize(domain)
+        found = self._lifecycles.get(norm)
+        if found is None:
+            raise UnknownDomainError(f"{norm} is not registered in .{self.tld}")
+        return found
+
+    def find(self, domain: str) -> Optional[DomainLifecycle]:
+        return self._lifecycles.get(dnsname.normalize(domain))
+
+    def __contains__(self, domain: str) -> bool:
+        return dnsname.normalize(domain) in self._lifecycles
+
+    def __len__(self) -> int:
+        return len(self._lifecycles)
+
+    def lifecycles(self) -> Iterator[DomainLifecycle]:
+        return iter(self._lifecycles.values())
+
+    # -- zone state ---------------------------------------------------------------
+
+    def delegation_at(self, domain: str, ts: int) -> Optional[FrozenSet[str]]:
+        """NS hostnames of ``domain`` in the zone at ``ts`` (None: absent)."""
+        lifecycle = self._lifecycles.get(dnsname.normalize(domain))
+        if lifecycle is None:
+            return None
+        return lifecycle.nameservers_at(ts)
+
+    def delegated_domains_at(self, ts: int) -> Set[str]:
+        """All domains present in the zone at ``ts`` (a snapshot's contents)."""
+        return {lc.domain for lc in self._lifecycles.values() if lc.in_zone_at(ts)}
+
+    def zone_version_at(self, ts: int) -> ZoneVersion:
+        """Full :class:`ZoneVersion` (with NS data) at ``ts``."""
+        delegations = {}
+        for lc in self._lifecycles.values():
+            ns = lc.nameservers_at(ts)
+            if ns:
+                delegations[lc.domain] = Delegation(lc.domain, ns)
+        return ZoneVersion(tld=self.tld, serial=self.serial_at(ts),
+                           taken_at=ts, delegations=delegations)
+
+    def _mark_dirty(self, tick_ts: int) -> None:
+        self._dirty_ticks.add(self.policy.tick_index(tick_ts))
+        self._serial_cache = None
+
+    def serial_at(self, ts: int) -> int:
+        """SOA serial at ``ts``: number of content-changing runs so far."""
+        if self._serial_cache is None:
+            self._serial_cache = sorted(self._dirty_ticks)
+        from bisect import bisect_right
+        return bisect_right(self._serial_cache, self.policy.tick_index(ts))
+
+    def authority(self) -> TLDAuthority:
+        """An authoritative server view over this registry."""
+        return TLDAuthority(self.tld, self.delegation_at, self.serial_at)
+
+    # -- registry ground truth (the §4.4 "registry view") -------------------------
+
+    def registrations_in(self, start: int, end: int) -> List[DomainLifecycle]:
+        return [lc for lc in self._lifecycles.values()
+                if start <= lc.created_at < end]
+
+    def deleted_under(self, max_lifetime: int, start: int,
+                      end: int) -> List[DomainLifecycle]:
+        """Domains created in the window and deleted within ``max_lifetime``
+        seconds — the registration-system ground truth of §4.4."""
+        return [lc for lc in self.registrations_in(start, end)
+                if lc.lifetime is not None and lc.lifetime <= max_lifetime]
+
+    def never_published(self, start: int, end: int) -> List[DomainLifecycle]:
+        """Registrations that never reached the zone at all."""
+        return [lc for lc in self.registrations_in(start, end)
+                if lc.zone_added_at is None]
+
+
+class RegistryGroup:
+    """All registries of a scenario, keyed by TLD."""
+
+    def __init__(self, registries: Iterable[Registry] = ()) -> None:
+        self._registries: Dict[str, Registry] = {}
+        for registry in registries:
+            self.add(registry)
+
+    def add(self, registry: Registry) -> None:
+        self._registries[registry.tld] = registry
+
+    def get(self, tld: str) -> Registry:
+        try:
+            return self._registries[tld]
+        except KeyError:
+            raise UnknownDomainError(f"no registry for .{tld}") from None
+
+    def for_domain(self, domain: str) -> Registry:
+        return self.get(dnsname.tld_of(domain))
+
+    def find_lifecycle(self, domain: str) -> Optional[DomainLifecycle]:
+        try:
+            registry = self.for_domain(domain)
+        except UnknownDomainError:
+            return None
+        return registry.find(domain)
+
+    def tlds(self) -> List[str]:
+        return sorted(self._registries)
+
+    def __iter__(self) -> Iterator[Registry]:
+        return iter(self._registries.values())
+
+    def __len__(self) -> int:
+        return len(self._registries)
+
+    def total_registrations(self) -> int:
+        return sum(len(r) for r in self._registries.values())

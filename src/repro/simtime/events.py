@@ -1,0 +1,158 @@
+"""A small discrete-event engine.
+
+The scenario builder precomputes lifecycles analytically, but several
+subsystems are genuinely event-driven — zone update ticks, CZDS snapshot
+capture, Certstream emission, pipeline consumption.  This engine runs
+them: a priority queue of timestamped callbacks plus periodic tasks,
+driving a shared :class:`~repro.simtime.clock.SimClock`.
+
+Events scheduled for the same instant execute in insertion order, which
+keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.simtime.clock import SimClock
+
+
+@dataclass(order=True)
+class _Scheduled:
+    ts: int
+    seq: int
+    callback: Callable[[int], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.call_at`; supports cancel()."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Scheduled) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def when(self) -> int:
+        return self._entry.ts
+
+
+class PeriodicTask:
+    """A repeating callback, e.g. a registry's 60-second zone update tick."""
+
+    __slots__ = ("callback", "interval", "until", "_handle", "_loop", "stopped")
+
+    def __init__(self, loop: "EventLoop", callback: Callable[[int], None],
+                 interval: int, first: int, until: Optional[int]) -> None:
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+        self._loop = loop
+        self.callback = callback
+        self.interval = interval
+        self.until = until
+        self.stopped = False
+        self._handle = loop.call_at(first, self._fire)
+
+    def _fire(self, ts: int) -> None:
+        if self.stopped:
+            return
+        self.callback(ts)
+        nxt = ts + self.interval
+        if self.until is None or nxt < self.until:
+            self._handle = self._loop.call_at(nxt, self._fire)
+
+    def stop(self) -> None:
+        self.stopped = True
+        self._handle.cancel()
+
+
+class EventLoop:
+    """Deterministic discrete-event loop over a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: List[_Scheduled] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed (useful for tests and profiling)."""
+        return self._events_run
+
+    def call_at(self, ts: int, callback: Callable[[int], None]) -> EventHandle:
+        """Schedule ``callback(ts)`` at absolute time ``ts``."""
+        if ts < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {ts} < now {self.clock.now}")
+        entry = _Scheduled(int(ts), next(self._seq), callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def call_after(self, delay: int, callback: Callable[[int], None]) -> EventHandle:
+        return self.call_at(self.clock.now + max(0, int(delay)), callback)
+
+    def every(self, interval: int, callback: Callable[[int], None],
+              first: Optional[int] = None,
+              until: Optional[int] = None) -> PeriodicTask:
+        """Schedule a periodic task; ``first`` defaults to now+interval."""
+        start = first if first is not None else self.clock.now + interval
+        return PeriodicTask(self, callback, interval, start, until)
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next pending (non-cancelled) event, if any."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].ts if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self.clock.advance_to(entry.ts)
+            entry.callback(entry.ts)
+            self._events_run += 1
+            return True
+        return False
+
+    def run_until(self, ts: int) -> int:
+        """Run all events strictly before ``ts``; clock ends at ``ts``.
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        while True:
+            nxt = self.peek()
+            if nxt is None or nxt >= ts:
+                break
+            self.step()
+            executed += 1
+        self.clock.advance_to(max(self.clock.now, ts))
+        return executed
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while executed < max_events and self.step():
+            executed += 1
+        if executed >= max_events and self.peek() is not None:
+            raise SimulationError(f"event loop exceeded {max_events} events")
+        return executed

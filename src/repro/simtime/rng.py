@@ -1,0 +1,171 @@
+"""Deterministic, named random streams.
+
+Every stochastic component of the simulation draws from a *named child
+stream* derived from one master seed.  Two properties matter:
+
+* **Reproducibility** — the same master seed always produces the same
+  scenario, pipeline behaviour, and analysis output.
+* **Isolation** — adding draws to one component never perturbs another,
+  because streams are derived from stable (seed, name) pairs rather than
+  from a shared sequential generator.
+
+Streams are ordinary :class:`random.Random` instances seeded from
+BLAKE2b of the (master seed, path) pair, plus a handful of distribution
+helpers the workload models share.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Optional, Sequence, Tuple
+
+
+def derive_seed(master: int, *path: str) -> int:
+    """Derive a 64-bit child seed from a master seed and a name path."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(master)).encode("ascii"))
+    for part in path:
+        h.update(b"\x00")
+        h.update(part.encode("utf-8"))
+    return int.from_bytes(h.digest(), "big")
+
+
+class RngStream(random.Random):
+    """A named child stream of a master seed.
+
+    Subclasses :class:`random.Random`, adding the distribution helpers
+    used throughout the workload models and the ability to spawn further
+    children (``stream.child("rdap")``).
+    """
+
+    def __init__(self, master: int, *path: str) -> None:
+        self._master = int(master)
+        self._path: Tuple[str, ...] = tuple(path)
+        super().__init__(derive_seed(self._master, *self._path))
+
+    @property
+    def path(self) -> Tuple[str, ...]:
+        return self._path
+
+    def child(self, *path: str) -> "RngStream":
+        """Derive a further child stream; draws are independent."""
+        return RngStream(self._master, *(self._path + path))
+
+    # -- distribution helpers ------------------------------------------------
+
+    def bernoulli(self, p: float) -> bool:
+        """Return True with probability ``p``."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self.random() < p
+
+    def exponential(self, mean: float) -> float:
+        """Exponential variate with the given mean (mean > 0)."""
+        return self.expovariate(1.0 / mean)
+
+    def lognormal_from_median(self, median: float, sigma: float) -> float:
+        """Lognormal variate parameterised by its median and log-sd."""
+        return self.lognormvariate(math.log(median), sigma)
+
+    def truncated(self, draw, low: float, high: float, max_tries: int = 64) -> float:
+        """Rejection-sample ``draw()`` into ``[low, high]``, clamping as fallback."""
+        for _ in range(max_tries):
+            value = draw()
+            if low <= value <= high:
+                return value
+        return min(max(draw(), low), high)
+
+    def weighted_choice(self, items: Sequence, weights: Sequence[float]):
+        """Pick one item by weight (weights need not be normalised)."""
+        return self.choices(list(items), weights=list(weights), k=1)[0]
+
+    def poisson(self, lam: float) -> int:
+        """Poisson variate.
+
+        Knuth's method for small lambda; normal approximation above 30
+        (adequate for arrival counts, and dependency-free).
+        """
+        if lam <= 0.0:
+            return 0
+        if lam < 30.0:
+            threshold = math.exp(-lam)
+            k, p = 0, 1.0
+            while True:
+                p *= self.random()
+                if p <= threshold:
+                    return k
+                k += 1
+        value = self.gauss(lam, math.sqrt(lam))
+        return max(0, int(round(value)))
+
+    def zipf_rank(self, n: int, alpha: float = 1.0) -> int:
+        """Draw a 0-based rank from a Zipf(alpha) distribution over n items."""
+        weights = [1.0 / (i + 1) ** alpha for i in range(n)]
+        total = sum(weights)
+        target = self.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if target <= acc:
+                return i
+        return n - 1
+
+
+class SeedBank:
+    """Factory handing out named :class:`RngStream` objects from one seed.
+
+    The bank memoises streams so that repeated lookups of the same name
+    return the *same* stream object (its internal state advances across
+    uses, which is what callers expect of "the scenario's RDAP stream").
+    """
+
+    def __init__(self, master: int) -> None:
+        self.master = int(master)
+        self._streams: dict = {}
+
+    def stream(self, *path: str) -> RngStream:
+        key = tuple(path)
+        found = self._streams.get(key)
+        if found is None:
+            found = RngStream(self.master, *key)
+            self._streams[key] = found
+        return found
+
+    def fresh(self, *path: str) -> RngStream:
+        """A non-memoised stream (for callers that reset per item)."""
+        return RngStream(self.master, *path)
+
+
+def stable_hash01(text: str, salt: str = "") -> float:
+    """Map a string to a deterministic float in [0, 1).
+
+    Used for per-domain decisions that must be stable regardless of the
+    order in which domains are processed (e.g. which worker monitors a
+    domain, whether a passive-DNS sensor sees its queries).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(salt.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(text.encode("utf-8"))
+    return int.from_bytes(h.digest(), "big") / 2.0 ** 64
+
+
+def stable_bucket(text: str, buckets: int, salt: str = "") -> int:
+    """Deterministically map a string into one of ``buckets`` bins."""
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    return int(stable_hash01(text, salt) * buckets) % buckets
+
+
+def spawn(master: int, *path: str) -> RngStream:
+    """Convenience: one-off child stream without a :class:`SeedBank`."""
+    return RngStream(master, *path)
+
+
+def optional_stream(stream: Optional[RngStream], master: int, *path: str) -> RngStream:
+    """Return ``stream`` if given, else derive one from ``master``/``path``."""
+    return stream if stream is not None else RngStream(master, *path)

@@ -1,0 +1,47 @@
+"""Workload generation: names, actors, campaigns, calibrated scenarios."""
+
+from repro.workload.actors import (
+    ActorProfile,
+    BENIGN_PROFILES,
+    BULK_SPAMMER,
+    CertBehaviour,
+    FAST_MALICIOUS_PROFILES,
+    FRAUDSTER,
+    LEGIT,
+    MALWARE_OP,
+    PHISHER,
+    SLOW_MALICIOUS_PROFILES,
+    SPECULATOR,
+    pick_profile,
+)
+from repro.workload.calibration import (
+    CCTLDTargets,
+    FILLER_TLDS,
+    MONTHS,
+    TLDTargets,
+    build_targets,
+    month_window,
+)
+from repro.workload.campaign import (
+    Campaign,
+    CertPlan,
+    GhostCertPlan,
+    NSChangePlan,
+    RegistrationPlan,
+    plan_campaign,
+)
+from repro.workload.namegen import NameGenerator, subdomain_names
+from repro.workload.scenario import ScenarioConfig, World, build_world, small_world
+
+__all__ = [
+    "ActorProfile", "CertBehaviour",
+    "LEGIT", "SPECULATOR", "PHISHER", "BULK_SPAMMER", "MALWARE_OP", "FRAUDSTER",
+    "BENIGN_PROFILES", "FAST_MALICIOUS_PROFILES", "SLOW_MALICIOUS_PROFILES",
+    "pick_profile",
+    "TLDTargets", "CCTLDTargets", "build_targets", "month_window",
+    "MONTHS", "FILLER_TLDS",
+    "Campaign", "CertPlan", "GhostCertPlan", "NSChangePlan",
+    "RegistrationPlan", "plan_campaign",
+    "NameGenerator", "subdomain_names",
+    "ScenarioConfig", "World", "build_world", "small_world",
+]

@@ -1,0 +1,138 @@
+"""Domain-name generation for synthetic registrants.
+
+Different registrant populations produce visibly different names —
+dictionary compounds for ordinary registrations, algorithmically
+generated strings and typo-squats for abusive campaigns, numbered
+batches for bulk registrations.  Generators are deterministic functions
+of their RNG stream and guarantee global uniqueness via an embedded
+sequence component, so registries never see duplicate registrations
+within a scenario.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence
+
+from repro.simtime.rng import RngStream
+
+_ADJECTIVES = (
+    "bright", "swift", "calm", "bold", "lunar", "solar", "prime", "metro",
+    "nova", "zen", "apex", "vivid", "royal", "amber", "cobalt", "coral",
+    "crystal", "dapper", "eager", "fable", "golden", "hazel", "ionic",
+    "jade", "keen", "lively", "mellow", "noble", "opal", "pearl",
+)
+
+_NOUNS = (
+    "river", "peak", "forge", "harbor", "studio", "labs", "market", "cloud",
+    "garden", "bridge", "compass", "anchor", "beacon", "canvas", "delta",
+    "ember", "falcon", "grove", "haven", "island", "junction", "kiosk",
+    "lantern", "meadow", "nest", "orchard", "pixel", "quarry", "ridge",
+    "summit",
+)
+
+_BRANDS = (
+    "paypa1", "app1e", "amaz0n", "micros0ft", "netf1ix", "faceb00k",
+    "g00gle", "chase-bank", "wells-farg0", "dhl-track", "usps-parcel",
+    "irs-refund", "covid-relief", "crypto-wallet", "meta-mask",
+    "binance-app", "coinbase-pro", "bank0famerica", "santander-id",
+    "post-nl",
+)
+
+_VERBS = ("get", "try", "join", "visit", "use", "book", "shop", "go")
+
+_CONSONANTS = "bcdfghjklmnpqrstvwxz"
+_VOWELS = "aeiou"
+
+
+class NameGenerator:
+    """Deterministic unique name factory for one scenario."""
+
+    def __init__(self, rng: RngStream, namespace: str = "") -> None:
+        self._rng = rng
+        self._seq = itertools.count(1)
+        self.namespace = namespace
+
+    def _suffix(self) -> str:
+        """Unique tail: namespace prefix + base36 sequence number.
+
+        The namespace keeps independently constructed generators (ghost
+        certs, held domains, baseline population) collision-free.
+        """
+        n = next(self._seq)
+        digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+        out = []
+        while n:
+            n, rem = divmod(n, 36)
+            out.append(digits[rem])
+        return f"{self.namespace}{''.join(reversed(out))}"
+
+    # -- styles ---------------------------------------------------------------
+
+    def dictionary(self, tld: str) -> str:
+        """Ordinary, human-chosen compound (``brightriver7.com``)."""
+        adjective = self._rng.choice(_ADJECTIVES)
+        noun = self._rng.choice(_NOUNS)
+        joiner = self._rng.choice(["", "", "-"])
+        return f"{adjective}{joiner}{noun}{self._suffix()}.{tld}"
+
+    def startup(self, tld: str) -> str:
+        """Vowel-dropped brandable (``zenlyr3.io`` style)."""
+        stem = self._rng.choice(_NOUNS)
+        stem = "".join(c for c in stem if c not in _VOWELS)[:4] or stem[:3]
+        vowel = self._rng.choice(_VOWELS)
+        return f"{stem}{vowel}{self._rng.choice(['ly', 'io', 'ify', 'hub'])}{self._suffix()}.{tld}"
+
+    def dga(self, tld: str, length: int = 12) -> str:
+        """Algorithmically generated label (malware/bulk style)."""
+        chars = []
+        for i in range(length):
+            pool = _CONSONANTS if i % 2 == 0 else _VOWELS
+            chars.append(self._rng.choice(pool))
+        return f"{''.join(chars)}{self._suffix()}.{tld}"
+
+    def typosquat(self, tld: str) -> str:
+        """Brand-adjacent phishing name (``paypa1-secure-login.com``)."""
+        brand = self._rng.choice(_BRANDS)
+        tail = self._rng.choice([
+            "login", "secure", "verify", "account", "support", "update",
+            "billing", "signin", "auth", "wallet",
+        ])
+        pattern = self._rng.choice([
+            f"{brand}-{tail}", f"{tail}-{brand}", f"{brand}{tail}",
+            f"{self._rng.choice(_VERBS)}-{brand}-{tail}",
+        ])
+        return f"{pattern}{self._suffix()}.{tld}"
+
+    def bulk(self, tld: str, campaign_tag: str) -> str:
+        """Numbered batch name sharing a campaign tag."""
+        return f"{campaign_tag}-{self._suffix()}.{tld}"
+
+    def parked(self, tld: str) -> str:
+        """Speculative/parked inventory name."""
+        noun = self._rng.choice(_NOUNS)
+        return f"{noun}{self._rng.randint(100, 99999)}x{self._suffix()}.{tld}"
+
+    def by_style(self, style: str, tld: str, campaign_tag: str = "cmp") -> str:
+        """Dispatch by style name (used by actor profiles)."""
+        if style == "dictionary":
+            return self.dictionary(tld)
+        if style == "startup":
+            return self.startup(tld)
+        if style == "dga":
+            return self.dga(tld)
+        if style == "typosquat":
+            return self.typosquat(tld)
+        if style == "bulk":
+            return self.bulk(tld, campaign_tag)
+        if style == "parked":
+            return self.parked(tld)
+        raise ValueError(f"unknown name style: {style!r}")
+
+
+def subdomain_names(rng: RngStream, domain: str, count: int) -> List[str]:
+    """Plausible service subdomains for SAN padding on certificates."""
+    pool = ["mail", "www2", "api", "shop", "app", "cdn", "m", "portal",
+            "login", "dev", "staging", "blog"]
+    rng.shuffle(pool)
+    return [f"{label}.{domain}" for label in pool[:count]]

@@ -1,0 +1,546 @@
+"""Scenario builder: from calibrated targets to a populated world.
+
+``build_world(ScenarioConfig(...))`` constructs every substrate the
+paper's deployment touched — registries with live provisioning, CAs
+logging precerts to CT, the snapshot archive, DZDB history, blocklists,
+the NOD feed, and a message broker — populated by three months of
+synthetic registration activity whose statistics are calibrated to the
+paper's tables.  The DarkDNS pipeline (:mod:`repro.core`) then measures
+that world exactly as the paper measured the Internet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bus.broker import Broker
+from repro.ct.ca import CA_PROFILES, CertificateAuthority
+from repro.ct.certstream import CertstreamFeed
+from repro.ct.ctlog import CTLog
+from repro.czds.archive import SnapshotArchive
+from repro.czds.dzdb import DZDB
+from repro.errors import ConfigError, ValidationError
+from repro.intel.blocklist import BlocklistPanel
+from repro.intel.labels import GroundTruth
+from repro.intel.nod import NODFeed
+from repro.registry.lifecycle import RemovalReason
+from repro.registry.policy import DEFAULT_POLICIES, policy_for
+from repro.registry.registrar import TakedownModel
+from repro.registry.registry import Registry, RegistryGroup
+from repro.simtime.clock import DAY, HOUR, MINUTE, PAPER_WINDOW, Window, day_floor
+from repro.simtime.rng import RngStream, SeedBank
+from repro.workload import calibration as cal
+from repro.workload.actors import (
+    ActorProfile,
+    BENIGN_PROFILES,
+    FAST_MALICIOUS_PROFILES,
+    SLOW_MALICIOUS_PROFILES,
+    pick_profile,
+)
+from repro.workload.calibration import CCTLDTargets, TLDTargets, month_window
+from repro.workload.campaign import (
+    Campaign,
+    CertPlan,
+    GhostCertPlan,
+    NSChangePlan,
+    RegistrationPlan,
+    plan_campaign,
+)
+from repro.workload.namegen import NameGenerator, subdomain_names
+
+#: Snapshot-collection slack past the analysis window (paper §4.2).
+TRANSIENT_SLACK = 3 * DAY
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs of a scenario run.
+
+    ``scale`` multiplies every population in the paper's tables; the
+    default 1/500 builds a ≈35 k-registration world in a few seconds.
+    Benchmarks use 1/200 for tighter statistics.
+    """
+
+    seed: int = 7
+    scale: float = 1 / 500
+    window: Window = PAPER_WINDOW
+    #: Restrict to a subset of gTLDs (None: all calibrated TLDs).
+    tlds: Optional[Sequence[str]] = None
+    include_cctld: bool = True
+    cctld: CCTLDTargets = field(default_factory=CCTLDTargets)
+    #: Ablation B: disable DV-token ghost certificates.
+    ghost_certs: bool = True
+    #: Disable held (serverHold) old registrations.
+    held_domains: bool = True
+    #: Fraction of fast-malicious volume arriving in bulk campaigns.
+    campaign_fraction: float = 0.5
+    #: Pre-window zone population as a fraction of window NRD volume.
+    baseline_fraction: float = 0.03
+    #: Scale override for the ccTLD ground-truth population (None:
+    #: follow ``scale``).  The §4.4b bench uses 1.0 — the paper's .nl
+    #: counts are small in absolute terms.
+    cctld_scale: Optional[float] = None
+    #: Snapshot cadence for the archive (Ablation A sweeps this).
+    snapshot_interval: int = DAY
+    ns_change_prob: float = cal.NS_CHANGE_PROB
+    lame_prob: float = cal.LAME_PROB
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1:
+            raise ConfigError("scale must be in (0, 1]")
+        if not 0 <= self.campaign_fraction <= 1:
+            raise ConfigError("campaign_fraction must be in [0, 1]")
+
+
+@dataclass
+class World:
+    """Everything a pipeline run or analysis needs, fully wired."""
+
+    config: ScenarioConfig
+    window: Window
+    registries: RegistryGroup
+    archive: SnapshotArchive
+    dzdb: DZDB
+    logs: List[CTLog]
+    cas: List[CertificateAuthority]
+    certstream: CertstreamFeed
+    blocklists: BlocklistPanel
+    nod: NODFeed
+    broker: Broker
+    ground_truth: GroundTruth
+    targets: Dict[str, TLDTargets]
+    cctld_tld: Optional[str]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gtlds(self) -> List[str]:
+        return sorted(self.targets)
+
+    def domain_exists(self, domain: str, ts: int) -> bool:
+        """The CA's existence oracle: does the delegation resolve?"""
+        lifecycle = self.registries.find_lifecycle(domain)
+        return lifecycle is not None and lifecycle.in_zone_at(ts)
+
+
+# ---------------------------------------------------------------------------
+# Plan generation
+# ---------------------------------------------------------------------------
+
+_FAST_TAKEDOWN = TakedownModel()
+
+
+def _spread_times(rng: RngStream, window: Window, count: int) -> List[int]:
+    """Registration instants across a window with a weekly rhythm.
+
+    Weekends carry ≈80 % of weekday volume (registration activity is
+    business-driven), and times spread uniformly within the day.
+    """
+    days = list(window.days())
+    if not days:
+        days = [window.start]
+    weights = []
+    for day in days:
+        weekday = (day // DAY + 4) % 7  # epoch day 0 was a Thursday
+        weights.append(0.8 if weekday in (5, 6) else 1.0)
+    times = []
+    for _ in range(count):
+        day = rng.weighted_choice(days, weights)
+        times.append(day + rng.randrange(DAY))
+    times.sort()
+    return times
+
+
+def _sample_fast_lifetime(rng: RngStream, median: int) -> int:
+    """Fast-takedown delay: the Figure 2 lifetime branch."""
+    return int(rng.truncated(
+        lambda: rng.lognormal_from_median(median, 0.85),
+        low=5 * MINUTE, high=DAY - 30 * MINUTE))
+
+
+def _sample_slow_removal(rng: RngStream) -> int:
+    return int(rng.truncated(
+        lambda: rng.lognormal_from_median(12 * DAY, 0.9),
+        low=DAY, high=80 * DAY))
+
+
+def _cert_plan(rng: RngStream, profile: ActorProfile, domain: str,
+               early_prob: float) -> Optional[CertPlan]:
+    """Early / late / no certificate decision for an ordinary NRD."""
+    p_early = min(0.98, early_prob * profile.cert.affinity)
+    if rng.bernoulli(p_early):
+        delay = profile.cert.sample_delay(rng)
+        sans: Tuple[str, ...] = ()
+        if rng.bernoulli(profile.san_rich_prob):
+            sans = tuple(subdomain_names(rng, domain, rng.randint(1, 4)))
+        return CertPlan(delay_after_publish=delay, extra_sans=sans)
+    if rng.bernoulli(cal.LATE_CERT_SHARE):
+        # Late certificate: arrives after the zone snapshot already
+        # lists the domain, so step 1 filters it (it is not a candidate).
+        delay = int(rng.uniform(1.5 * DAY, 25 * DAY))
+        return CertPlan(delay_after_publish=delay)
+    return None
+
+
+def _decorate_plan(plan: RegistrationPlan, rng: RngStream,
+                   config: ScenarioConfig, early_prob: float) -> None:
+    """Attach cert/NS-change/lameness decisions to a planned NRD."""
+    plan.cert = _cert_plan(rng, plan.profile, plan.domain, early_prob)
+    if rng.bernoulli(config.ns_change_prob):
+        new_provider = plan.profile.dns_mix.pick(rng)
+        if new_provider.name == plan.dns_provider.name:
+            new_provider = plan.profile.dns_mix.pick(rng)
+        plan.ns_change = NSChangePlan(
+            delay_after_publish=int(rng.uniform(1 * HOUR, 20 * HOUR)),
+            new_dns_provider=new_provider)
+    plan.lame = rng.bernoulli(config.lame_prob)
+
+
+def _plan_month_for_tld(config: ScenarioConfig, targets: TLDTargets,
+                        month: str, bank: SeedBank,
+                        namegen: NameGenerator
+                        ) -> Tuple[List[RegistrationPlan], List[GhostCertPlan]]:
+    rng = bank.stream("gen", targets.tld, month)
+    window = month_window(month)
+    early_prob = targets.early_cert_prob()
+    plans: List[RegistrationPlan] = []
+
+    # --- ordinary zone-NRD volume -------------------------------------------
+    n_nrd = targets.monthly_nrd.get(month, 0)
+    for ts in _spread_times(rng, window, n_nrd):
+        if rng.bernoulli(cal.DELETED_SHARE_OF_NRD):
+            if rng.bernoulli(cal.EARLY_REMOVED_MALICIOUS_SHARE):
+                profile = pick_profile(rng, SLOW_MALICIOUS_PROFILES)
+                removal = _sample_slow_removal(rng)
+            else:
+                profile = pick_profile(rng, BENIGN_PROFILES)
+                removal = int(rng.uniform(2 * DAY, 30 * DAY))
+        else:
+            profile = pick_profile(rng, BENIGN_PROFILES)
+            removal = None
+        plan = RegistrationPlan(
+            domain=namegen.by_style(profile.name_style, targets.tld),
+            tld=targets.tld, created_at=ts, profile=profile,
+            registrar=profile.registrar_mix.pick(rng),
+            dns_provider=profile.dns_mix.pick(rng),
+            web_provider=profile.web_mix.pick(rng),
+            removal_delay=removal)
+        _decorate_plan(plan, rng, config, early_prob)
+        plans.append(plan)
+
+    # --- fast-takedown (transient-class) volume ---------------------------------
+    n_fast = targets.fast_takedown_count(month)
+    n_campaign = int(round(n_fast * config.campaign_fraction))
+    n_single = n_fast - n_campaign
+    fast_plans: List[RegistrationPlan] = []
+    campaign_seq = 0
+    while n_campaign > 0:
+        size = min(n_campaign, rng.randint(4, 16))
+        profile = pick_profile(rng, FAST_MALICIOUS_PROFILES)
+        start = window.start + rng.randrange(max(1, window.duration - HOUR))
+        campaign = Campaign(
+            campaign_id=f"{targets.tld}-{month}-c{campaign_seq}",
+            profile=profile, tld=targets.tld, start_at=start, size=size)
+        fast_plans.extend(plan_campaign(campaign, namegen, rng))
+        n_campaign -= size
+        campaign_seq += 1
+    for ts in _spread_times(rng, window, n_single):
+        profile = pick_profile(rng, FAST_MALICIOUS_PROFILES)
+        fast_plans.append(RegistrationPlan(
+            domain=namegen.by_style(profile.name_style, targets.tld),
+            tld=targets.tld, created_at=ts, profile=profile,
+            registrar=profile.registrar_mix.pick(rng),
+            dns_provider=profile.dns_mix.pick(rng),
+            web_provider=profile.web_mix.pick(rng)))
+    for plan in fast_plans:
+        plan.fast_takedown = True
+        plan.has_history = rng.bernoulli(cal.FAST_DOMAIN_HISTORY_PROB)
+        plan.removal_delay = _sample_fast_lifetime(rng, _FAST_TAKEDOWN.fast_median)
+        if rng.bernoulli(cal.TRANSIENT_CERT_COVERAGE):
+            delay = plan.profile.cert.sample_delay(rng)
+            plan.cert = CertPlan(delay_after_publish=delay)
+        plan.lame = rng.bernoulli(config.lame_prob)
+    plans.extend(fast_plans)
+
+    # --- ghost certificates (DV-token reuse, cause iii) ---------------------------
+    ghosts: List[GhostCertPlan] = []
+    if config.ghost_certs:
+        ghost_gen = NameGenerator(rng.child("ghostnames"), namespace="gh-")
+        for _ in range(targets.ghost_count(month)):
+            requested_at = window.start + rng.randrange(window.duration)
+            token_age = int(rng.uniform(30 * DAY, 390 * DAY))
+            validated_at = requested_at - token_age
+            ghosts.append(GhostCertPlan(
+                domain=ghost_gen.by_style(
+                    rng.choice(["dga", "typosquat"]), targets.tld),
+                tld=targets.tld, requested_at=requested_at,
+                validated_at=validated_at,
+                first_seen=validated_at - int(rng.uniform(0, 60 * DAY)),
+                last_seen=validated_at + int(rng.uniform(5 * DAY, 200 * DAY)),
+                in_dzdb=rng.bernoulli(0.98)))
+    return plans, ghosts
+
+
+# ---------------------------------------------------------------------------
+# Plan execution
+# ---------------------------------------------------------------------------
+
+def _execute_registration(plan: RegistrationPlan, registry: Registry,
+                          rng: RngStream) -> None:
+    ns_hosts = plan.dns_provider.nameservers_for(plan.domain)
+    a_addrs = (plan.web_provider.address_for(plan.domain),)
+    aaaa_addrs = ((plan.web_provider.ipv6_for(plan.domain),)
+                  if rng.bernoulli(0.7) else ())
+    lifecycle = registry.register(
+        plan.domain, plan.created_at, plan.registrar.name,
+        ns_hosts=ns_hosts, a_addrs=a_addrs, aaaa_addrs=aaaa_addrs,
+        dns_provider=plan.dns_provider.name,
+        web_provider=plan.web_provider.name,
+        is_malicious=plan.profile.is_malicious,
+        abuse_kind=plan.profile.abuse_kind,
+        actor=plan.profile.name, campaign=plan.campaign_id, lame=plan.lame)
+    if plan.removed_at is not None:
+        was_fast = plan.fast_takedown
+        reason = (_FAST_TAKEDOWN.sample_reason(rng, was_fast)
+                  if plan.profile.is_malicious
+                  else RemovalReason.RIGHT_OF_CANCELLATION)
+        registry.schedule_removal(plan.domain, plan.removed_at, reason)
+    if plan.ns_change is not None and lifecycle.zone_added_at is not None:
+        change_at = lifecycle.zone_added_at + plan.ns_change.delay_after_publish
+        if plan.removed_at is None or change_at < plan.removed_at:
+            provider = plan.ns_change.new_dns_provider
+            registry.change_nameservers(
+                plan.domain, change_at,
+                provider.nameservers_for(plan.domain),
+                dns_provider=provider.name)
+
+
+def build_world(config: Optional[ScenarioConfig] = None) -> World:
+    """Construct and populate a scenario world (see module docstring)."""
+    config = config if config is not None else ScenarioConfig()
+    bank = SeedBank(config.seed)
+    targets = cal.build_targets(config.scale)
+    if config.tlds is not None:
+        unknown = set(config.tlds) - set(targets)
+        if unknown:
+            raise ConfigError(f"unknown TLDs requested: {sorted(unknown)}")
+        targets = {t: targets[t] for t in config.tlds}
+
+    registries = RegistryGroup(Registry(policy_for(t)) for t in targets)
+    cctld_tld: Optional[str] = None
+    if config.include_cctld:
+        cctld_tld = config.cctld.tld
+        registries.add(Registry(policy_for(cctld_tld)))
+
+    logs = [CTLog("argon2024", merge_delay=25),
+            CTLog("xenon2024", merge_delay=40),
+            CTLog("nimbus2024", merge_delay=60)]
+    world_stub: Dict[str, World] = {}
+
+    def exists(domain: str, ts: int) -> bool:
+        lifecycle = registries.find_lifecycle(domain)
+        return lifecycle is not None and lifecycle.in_zone_at(ts)
+
+    cas = [CertificateAuthority(profile.name, exists,
+                                [logs[i % len(logs)]],
+                                validation_delay=5 + 5 * i)
+           for i, profile in enumerate(CA_PROFILES)]
+    ca_weights = [p.market_share for p in CA_PROFILES]
+
+    dzdb = DZDB()
+    stats: Dict[str, int] = {
+        "registrations": 0, "fast_takedowns": 0, "ghost_certs": 0,
+        "held_domains": 0, "cert_requests": 0, "cert_rejections": 0,
+        "baseline": 0,
+    }
+
+    # Cert request events gathered first, executed in time order so the
+    # CT logs incorporate entries monotonically.  Ghost/held requests pin
+    # the CA holding the cached DV token; ordinary requests pick a CA by
+    # market share at issuance time.
+    cert_events: List[Tuple[int, str, Optional[Tuple[str, ...]],
+                            Optional[CertificateAuthority]]] = []
+
+    # --- gTLD populations -------------------------------------------------------
+    for tld, tld_targets in sorted(targets.items()):
+        registry = registries.get(tld)
+        namegen = NameGenerator(bank.stream("names", tld))
+        exec_rng = bank.stream("exec", tld)
+
+        # Baseline zone population (pre-window, establishes snapshot 0).
+        n_base = int(round(tld_targets.total_nrd * config.baseline_fraction))
+        base_gen = NameGenerator(bank.stream("names", tld, "base"), namespace="b-")
+        base_rng = bank.stream("gen", tld, "base")
+        for _ in range(n_base):
+            profile = pick_profile(base_rng, BENIGN_PROFILES)
+            created = config.window.start - int(base_rng.uniform(5 * DAY, 300 * DAY))
+            domain = base_gen.by_style(profile.name_style, tld)
+            registry.register(
+                domain, created, profile.registrar_mix.pick(base_rng).name,
+                ns_hosts=profile.dns_mix.pick(base_rng).nameservers_for(domain),
+                a_addrs=("198.18.63.1",), actor=profile.name)
+            dzdb.observe(domain, created + DAY)
+            stats["baseline"] += 1
+
+        for month, _days in cal.MONTHS:
+            plans, ghosts = _plan_month_for_tld(
+                config, tld_targets, month, bank, namegen)
+            for plan in plans:
+                _execute_registration(plan, registry, exec_rng)
+                stats["registrations"] += 1
+                if plan.fast_takedown:
+                    stats["fast_takedowns"] += 1
+                if plan.has_history:
+                    # Re-registered dropped name: it carries zone-file
+                    # history, which is what DZDB sees for §4.2.
+                    dropped = plan.created_at - int(
+                        exec_rng.uniform(60 * DAY, 500 * DAY))
+                    dzdb.add_interval(
+                        plan.domain,
+                        dropped - int(exec_rng.uniform(30 * DAY, 300 * DAY)),
+                        dropped)
+                lifecycle = registry.get(plan.domain)
+                if plan.cert is not None and lifecycle.zone_added_at is not None:
+                    request_at = lifecycle.zone_added_at + plan.cert.delay_after_publish
+                    cert_events.append((request_at, plan.domain,
+                                        plan.cert.extra_sans or None, None))
+            for ghost in ghosts:
+                ca = bank.stream("capick").weighted_choice(cas, ca_weights)
+                ca.seed_token(ghost.domain, ghost.validated_at)
+                if ghost.in_dzdb:
+                    dzdb.add_interval(ghost.domain, ghost.first_seen,
+                                      ghost.last_seen)
+                cert_events.append((ghost.requested_at, ghost.domain, None, ca))
+                stats["ghost_certs"] += 1
+
+        # Held (serverHold) domains: old registrations that went dark
+        # before the window but still hold valid DV tokens.
+        if config.held_domains:
+            held_gen = NameGenerator(bank.stream("names", tld, "held"),
+                                     namespace="h-")
+            held_rng = bank.stream("gen", tld, "held")
+            n_held = sum(tld_targets.held_count(m) for m, _ in cal.MONTHS)
+            for _ in range(n_held):
+                profile = pick_profile(held_rng, BENIGN_PROFILES)
+                created = config.window.start - int(
+                    held_rng.uniform(60 * DAY, 350 * DAY))
+                domain = held_gen.by_style(profile.name_style, tld)
+                provider = profile.dns_mix.pick(held_rng)
+                registry.register(
+                    domain, created, profile.registrar_mix.pick(held_rng).name,
+                    ns_hosts=provider.nameservers_for(domain),
+                    a_addrs=("198.18.63.2",), dns_provider=provider.name,
+                    actor=profile.name)
+                hold_at = config.window.start - int(
+                    held_rng.uniform(5 * DAY, 50 * DAY))
+                registry.place_hold(domain, max(hold_at, created + DAY))
+                dzdb.add_interval(domain, created + DAY, hold_at)
+                ca = bank.stream("capick").weighted_choice(cas, ca_weights)
+                ca.seed_token(domain, max(created + 2 * DAY,
+                                          hold_at - 300 * DAY))
+                request_at = config.window.start + held_rng.randrange(
+                    config.window.duration)
+                cert_events.append((request_at, domain, None, ca))
+                stats["held_domains"] += 1
+
+    # --- ccTLD population (the §4.4b ground-truth registry) ------------------------
+    if cctld_tld is not None:
+        cc_scale = (config.cctld_scale if config.cctld_scale is not None
+                    else config.scale)
+        # Ordinary registrations track the global scale (they only give
+        # the ccTLD zone realistic bulk); the ground-truth fast-deletion
+        # population tracks cctld_scale so §4.4b can run at absolute
+        # paper counts without inflating everything else.
+        cc_scaled = config.cctld.scaled(config.scale)
+        cc_truth = config.cctld.scaled(cc_scale)
+        registry = registries.get(cctld_tld)
+        cc_gen = NameGenerator(bank.stream("names", cctld_tld))
+        cc_rng = bank.stream("gen", cctld_tld)
+        cc_exec = bank.stream("exec", cctld_tld)
+        for month, _days in cal.MONTHS:
+            window = month_window(month)
+            for ts in _spread_times(cc_rng, window, cc_scaled.monthly_nrd):
+                profile = pick_profile(cc_rng, BENIGN_PROFILES)
+                plan = RegistrationPlan(
+                    domain=cc_gen.by_style(profile.name_style, cctld_tld),
+                    tld=cctld_tld, created_at=ts, profile=profile,
+                    registrar=profile.registrar_mix.pick(cc_rng),
+                    dns_provider=profile.dns_mix.pick(cc_rng),
+                    web_provider=profile.web_mix.pick(cc_rng))
+                _decorate_plan(plan, cc_rng, config, early_prob=0.55)
+                _execute_registration(plan, registry, cc_exec)
+                lifecycle = registry.get(plan.domain)
+                if plan.cert is not None and lifecycle.zone_added_at is not None:
+                    cert_events.append((
+                        lifecycle.zone_added_at + plan.cert.delay_after_publish,
+                        plan.domain, plan.cert.extra_sans or None, None))
+        # Fast deletions (the 714 / 334 / 99 ground truth).
+        n_fast_cc = cc_truth.deleted_under_24h
+        for ts in _spread_times(cc_rng, config.window, n_fast_cc):
+            profile = pick_profile(cc_rng, FAST_MALICIOUS_PROFILES)
+            plan = RegistrationPlan(
+                domain=cc_gen.by_style(profile.name_style, cctld_tld),
+                tld=cctld_tld, created_at=ts, profile=profile,
+                registrar=profile.registrar_mix.pick(cc_rng),
+                dns_provider=profile.dns_mix.pick(cc_rng),
+                web_provider=profile.web_mix.pick(cc_rng),
+                fast_takedown=True,
+                removal_delay=_sample_fast_lifetime(
+                    cc_rng, config.cctld.fast_median))
+            if cc_rng.bernoulli(config.cctld.cert_coverage):
+                plan.cert = CertPlan(
+                    delay_after_publish=profile.cert.sample_delay(cc_rng))
+            _execute_registration(plan, registry, cc_exec)
+            stats["fast_takedowns"] += 1
+            lifecycle = registry.get(plan.domain)
+            if plan.cert is not None and lifecycle.zone_added_at is not None:
+                cert_events.append((
+                    lifecycle.zone_added_at + plan.cert.delay_after_publish,
+                    plan.domain, plan.cert.extra_sans or None, None))
+
+    # --- execute certificate requests in time order ---------------------------------
+    cert_events.sort(key=lambda e: (e[0], e[1]))
+    capick = bank.stream("capick", "issue")
+    for request_at, domain, sans, pinned_ca in cert_events:
+        if request_at >= config.window.end:
+            continue
+        ca = (pinned_ca if pinned_ca is not None
+              else capick.weighted_choice(cas, ca_weights))
+        try:
+            ca.request_certificate(domain, request_at,
+                                   extra_sans=sans or ())
+            stats["cert_requests"] += 1
+        except ValidationError:
+            stats["cert_rejections"] += 1
+
+    # --- observation channels ---------------------------------------------------------
+    covered = sorted(targets) + ([cctld_tld] if cctld_tld else [])
+    # The snapshot collection runs 3 days past the analysis window —
+    # the paper's ±3-day slack for late-published zone files, which
+    # also keeps end-of-window registrations out of the transient set.
+    archive_window = Window(config.window.start,
+                            config.window.end + TRANSIENT_SLACK)
+    archive = SnapshotArchive(registries, archive_window,
+                              interval=config.snapshot_interval,
+                              covered_tlds=covered)
+    certstream = CertstreamFeed(logs)
+    blocklists = BlocklistPanel(seed=config.seed)
+    nod = NODFeed()
+    broker = Broker()
+    ground_truth = GroundTruth(registries, archive, config.window)
+
+    return World(
+        config=config, window=config.window, registries=registries,
+        archive=archive, dzdb=dzdb, logs=logs, cas=cas,
+        certstream=certstream, blocklists=blocklists, nod=nod,
+        broker=broker, ground_truth=ground_truth, targets=targets,
+        cctld_tld=cctld_tld, stats=stats)
+
+
+def small_world(seed: int = 7, tlds: Sequence[str] = ("com", "xyz"),
+                scale: float = 1 / 5000,
+                include_cctld: bool = False) -> World:
+    """A tiny world for tests and the quickstart example."""
+    return build_world(ScenarioConfig(
+        seed=seed, scale=scale, tlds=list(tlds),
+        include_cctld=include_cctld))

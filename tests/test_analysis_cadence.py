@@ -1,0 +1,102 @@
+"""Tests for SOA-probe cadence inference (§4.1 validation)."""
+
+import pytest
+
+from repro.analysis.cadence import (
+    CadenceEstimate,
+    cadence_report,
+    estimate_interval,
+    probe_registry,
+    serial_change_times,
+)
+from repro.errors import ConfigError
+from repro.registry.policy import gtld
+from repro.registry.registry import Registry
+from repro.simtime.clock import DAY, HOUR, MINUTE, Window
+from repro.simtime.rng import RngStream
+
+
+def busy_registry(interval, seed=5, registrations=400,
+                  span=2 * DAY) -> Registry:
+    """A registry with enough churn that most ticks change something."""
+    registry = Registry(gtld("com", interval, snapshot_offset=0))
+    rng = RngStream(seed, "cadence")
+    for i in range(registrations):
+        registry.register(f"d{i}.com", rng.randrange(span), "GoDaddy",
+                          ns_hosts=["ns1.h.net"])
+    return registry
+
+
+class TestSerialChangeTimes:
+    def test_changes_detected_on_grid(self):
+        registry = busy_registry(MINUTE)
+        window = Window(0, 6 * HOUR)
+        changes = serial_change_times(registry.serial_at, window, 30)
+        assert changes
+        assert all(window.start < ts < window.end for ts in changes)
+
+    def test_no_changes_in_quiet_zone(self):
+        registry = Registry(gtld("com", MINUTE, snapshot_offset=0))
+        changes = serial_change_times(registry.serial_at, Window(0, HOUR), 60)
+        assert changes == []
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigError):
+            serial_change_times(lambda ts: 0, Window(0, 10), 0)
+
+
+class TestEstimateInterval:
+    def test_exact_grid(self):
+        changes = [600, 1200, 1800, 3000, 3600]
+        assert estimate_interval(changes, 60) == 600
+
+    def test_needs_three_changes(self):
+        assert estimate_interval([100, 200], 60) is None
+
+    def test_floor_at_probe_grid(self):
+        changes = [60, 120, 180, 240]
+        assert estimate_interval(changes, 60) == 60
+
+
+class TestProbeRegistry:
+    def test_recovers_verisign_cadence(self):
+        """Probing every 30 s recovers the 60 s .com cadence."""
+        registry = busy_registry(MINUTE)
+        estimate = probe_registry(registry, Window(0, 12 * HOUR),
+                                  probe_interval=30)
+        assert estimate.estimated_interval is not None
+        assert estimate.consistent
+
+    def test_recovers_slow_gtld_cadence(self):
+        interval = 20 * MINUTE
+        registry = busy_registry(interval, registrations=800)
+        estimate = probe_registry(registry, Window(0, 2 * DAY),
+                                  probe_interval=MINUTE)
+        assert estimate.estimated_interval is not None
+        assert abs(estimate.estimated_interval - interval) <= MINUTE
+
+    def test_quiet_zone_yields_none(self):
+        registry = Registry(gtld("com", MINUTE, snapshot_offset=0))
+        estimate = probe_registry(registry, Window(0, HOUR))
+        assert estimate.estimated_interval is None
+        assert not estimate.consistent
+
+    def test_report(self):
+        registry = busy_registry(MINUTE)
+        estimate = probe_registry(registry, Window(0, 12 * HOUR),
+                                  probe_interval=30)
+        report = cadence_report([estimate])
+        assert report.all_within_tolerance
+        assert "SOA" in report.render()
+
+    def test_probing_scenario_world(self, tiny_world):
+        """The paper's validation applied to scenario registries: the
+        estimated cadence matches each registry's configured policy."""
+        window = Window(tiny_world.window.start,
+                        tiny_world.window.start + 3 * DAY)
+        for registry in tiny_world.registries:
+            estimate = probe_registry(registry, window, probe_interval=30)
+            if estimate.estimated_interval is not None \
+                    and estimate.observed_changes > 20:
+                assert estimate.estimated_interval <= \
+                    registry.policy.zone_update_interval + 30

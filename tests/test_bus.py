@@ -1,0 +1,172 @@
+"""Tests for the topic broker and the columnar store."""
+
+import pytest
+
+from repro.bus.broker import Broker, TOPIC_CANDIDATES
+from repro.bus.columnar import ColumnStore, Dataset
+from repro.errors import BusError, OffsetError, UnknownTopicError
+
+
+class TestBroker:
+    def test_create_and_produce(self):
+        broker = Broker()
+        broker.create_topic("events", partitions=2)
+        message = broker.produce("events", "key1", {"v": 1}, timestamp=100)
+        assert message.offset == 0
+        assert broker.topic("events").total_messages() == 1
+
+    def test_duplicate_topic_rejected(self):
+        broker = Broker()
+        broker.create_topic("t")
+        with pytest.raises(BusError):
+            broker.create_topic("t")
+
+    def test_unknown_topic(self):
+        with pytest.raises(UnknownTopicError):
+            Broker().topic("nope")
+
+    def test_ensure_topic(self):
+        broker = Broker()
+        t1 = broker.ensure_topic("x")
+        assert broker.ensure_topic("x") is t1
+
+    def test_key_routing_is_stable(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=4)
+        p1 = broker.produce("t", "example.com", 1, 0).partition
+        p2 = broker.produce("t", "example.com", 2, 1).partition
+        assert p1 == p2
+
+    def test_poll_commits_and_orders(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=3)
+        for i in range(10):
+            broker.produce("t", f"k{i}", i, timestamp=i)
+        batch = broker.poll("group", "t")
+        assert [m.value for m in batch] == list(range(10))
+        assert broker.poll("group", "t") == []
+        assert broker.lag("group", "t") == 0
+
+    def test_independent_consumer_groups(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=1)
+        broker.produce("t", "k", 1, 0)
+        assert len(broker.poll("g1", "t")) == 1
+        assert len(broker.poll("g2", "t")) == 1
+
+    def test_poll_respects_max_messages(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=1)
+        for i in range(10):
+            broker.produce("t", "k", i, i)
+        assert len(broker.poll("g", "t", max_messages=4)) == 4
+        assert broker.lag("g", "t") == 6
+
+    def test_commit_bounds(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=1)
+        broker.produce("t", "k", 1, 0)
+        with pytest.raises(OffsetError):
+            broker.commit("g", "t", 0, 5)
+
+    def test_all_messages_sorted_by_time(self):
+        broker = Broker()
+        broker.create_topic("t", partitions=4)
+        for i, ts in enumerate([50, 10, 30, 20]):
+            broker.produce("t", f"k{i}", i, ts)
+        times = [m.timestamp for m in broker.topic("t").all_messages()]
+        assert times == sorted(times)
+
+    def test_pipeline_topic_names(self):
+        assert TOPIC_CANDIDATES == "nrd.candidates"
+
+    def test_rejects_zero_partitions(self):
+        broker = Broker()
+        with pytest.raises(BusError):
+            broker.create_topic("t", partitions=0)
+
+
+class TestColumnStore:
+    def _store(self):
+        store = ColumnStore("obs", ["domain", "tld", "count"])
+        store.append({"domain": "a.com", "tld": "com", "count": 1})
+        store.append({"domain": "b.xyz", "tld": "xyz", "count": 2})
+        return store
+
+    def test_append_and_len(self):
+        assert len(self._store()) == 2
+
+    def test_missing_column_is_none(self):
+        store = ColumnStore("t", ["a", "b"])
+        store.append({"a": 1})
+        assert store.row(0) == {"a": 1, "b": None}
+
+    def test_extra_column_rejected(self):
+        store = ColumnStore("t", ["a"])
+        with pytest.raises(BusError):
+            store.append({"a": 1, "zzz": 2})
+
+    def test_requires_columns(self):
+        with pytest.raises(BusError):
+            ColumnStore("t", [])
+
+    def test_column_access(self):
+        assert self._store().column("tld") == ["com", "xyz"]
+        with pytest.raises(BusError):
+            self._store().column("nope")
+
+    def test_rows_roundtrip(self):
+        rows = list(self._store().rows())
+        assert rows[1]["domain"] == "b.xyz"
+
+    def test_filter(self):
+        filtered = self._store().filter(lambda r: r["tld"] == "com")
+        assert len(filtered) == 1
+
+    def test_select(self):
+        assert self._store().select("domain", "count") == [
+            ("a.com", 1), ("b.xyz", 2)]
+
+    def test_group_count(self):
+        store = self._store()
+        store.append({"domain": "c.com", "tld": "com", "count": 3})
+        assert store.group_count("tld") == {"com": 2, "xyz": 1}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = self._store()
+        path = tmp_path / "obs.json"
+        store.save(path)
+        loaded = ColumnStore.load(path)
+        assert list(loaded.rows()) == list(store.rows())
+        assert loaded.name == "obs"
+
+    def test_extend(self):
+        store = ColumnStore("t", ["a"])
+        count = store.extend(iter([{"a": i} for i in range(5)]))
+        assert count == 5 and len(store) == 5
+
+
+class TestDataset:
+    def test_create_get(self):
+        ds = Dataset()
+        table = ds.create("t1", ["a"])
+        assert ds.get("t1") is table
+        assert ds.ensure("t1", ["a"]) is table
+
+    def test_duplicate_rejected(self):
+        ds = Dataset()
+        ds.create("t", ["a"])
+        with pytest.raises(BusError):
+            ds.create("t", ["a"])
+
+    def test_unknown_rejected(self):
+        with pytest.raises(BusError):
+            Dataset().get("none")
+
+    def test_save_all(self, tmp_path):
+        ds = Dataset()
+        ds.create("x", ["a"]).append({"a": 1})
+        ds.create("y", ["b"]).append({"b": 2})
+        ds.save_all(tmp_path)
+        assert (tmp_path / "x.json").exists()
+        assert (tmp_path / "y.json").exists()

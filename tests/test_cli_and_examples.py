@@ -1,0 +1,71 @@
+"""Smoke tests: the CLI and every example run end to end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["reproduce", "--scale", "4000"])
+        assert args.command == "reproduce" and args.scale == 4000
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_feed_command(self, tmp_path, capsys):
+        out = tmp_path / "feed.jsonl"
+        rc = main(["feed", "--scale", "5000", "--no-cctld",
+                   "--output", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert sum(1 for _ in out.open()) > 50
+
+    def test_probe_command(self, capsys):
+        rc = main(["probe", "--scale", "5000", "--no-cctld", "--seed", "3"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "SOA serial probing" in captured.out
+
+    def test_sweep_command(self, capsys):
+        rc = main(["sweep", "--scale", "5000", "--seed", "3"])
+        assert rc == 0
+        assert "Rapid Zone Updates" in capsys.readouterr().out
+
+    def test_reproduce_command(self, capsys):
+        rc = main(["reproduce", "--scale", "4000", "--no-cctld",
+                   "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "overall:" in out
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "rapid_zone_updates.py",
+    "public_feed.py",
+])
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    """Examples must execute cleanly via the public API."""
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_campaign_forensics_example(monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", ["campaign_forensics.py"])
+    runpy.run_path(str(EXAMPLES / "campaign_forensics.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "campaign" in out

@@ -1,0 +1,74 @@
+"""Tests for the streaming (event-driven) pipeline runner."""
+
+import pytest
+
+from repro.core.live import StreamingPipeline
+from repro.core.pipeline import PipelineConfig, run_pipeline
+
+
+@pytest.fixture(scope="module")
+def streaming_result(tiny_world):
+    return StreamingPipeline(tiny_world).run()
+
+
+@pytest.fixture(scope="module")
+def batch_result(tiny_world):
+    return run_pipeline(tiny_world)
+
+
+class TestStreamingEquivalence:
+    """The live runner must observe exactly what the batch runner does."""
+
+    def test_same_candidates(self, streaming_result, batch_result):
+        assert set(streaming_result.candidates) == set(batch_result.candidates)
+        for domain, candidate in streaming_result.candidates.items():
+            assert candidate == batch_result.candidates[domain]
+
+    def test_same_rdap_outcomes(self, streaming_result, batch_result):
+        assert set(streaming_result.rdap) == set(batch_result.rdap)
+        for domain in streaming_result.rdap:
+            a = streaming_result.rdap[domain]
+            b = batch_result.rdap[domain]
+            assert (a.ok, a.failure) == (b.ok, b.failure), domain
+            if a.ok:
+                assert a.record.created_at == b.record.created_at
+
+    def test_same_transient_sets(self, streaming_result, batch_result):
+        assert (streaming_result.transient_candidates
+                == batch_result.transient_candidates)
+        assert (streaming_result.confirmed_transients
+                == batch_result.confirmed_transients)
+
+    def test_same_monitor_reports(self, streaming_result, batch_result):
+        for domain in list(streaming_result.monitors)[:100]:
+            assert (streaming_result.monitors[domain]
+                    == batch_result.monitors[domain])
+
+
+class TestStreamingBehaviour:
+    def test_events_flow_through_loop(self, streaming_result):
+        # One loop event per certstream message plus one per RDAP fetch.
+        assert streaming_result.stats["events_executed"] >= (
+            streaming_result.stats["certstream_events"]
+            + streaming_result.stats["rdap_queries"])
+
+    def test_rdap_fires_after_detection(self, streaming_result):
+        for domain, result in streaming_result.rdap.items():
+            candidate = streaming_result.candidates[domain]
+            assert result.queried_at >= candidate.ct_seen_at
+
+    def test_observers_see_detections_in_time_order(self, tiny_world):
+        seen = []
+        pipeline = StreamingPipeline(tiny_world,
+                                     PipelineConfig(run_monitor=False))
+        pipeline.on_candidate.append(
+            lambda candidate, now: seen.append(now))
+        result = pipeline.run()
+        assert len(seen) == len(result.candidates)
+        assert seen == sorted(seen)
+
+    def test_feed_matches_candidates(self, tiny_world):
+        pipeline = StreamingPipeline(tiny_world,
+                                     PipelineConfig(run_monitor=False))
+        result = pipeline.run()
+        assert pipeline.feed.domains == set(result.candidates)

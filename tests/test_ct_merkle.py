@@ -1,0 +1,179 @@
+"""Tests for the RFC 6962 Merkle tree, including proof properties."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ct.merkle import (
+    MerkleTree,
+    consistency_proof,
+    inclusion_proof,
+    leaf_hash,
+    node_hash,
+    root_of,
+    verify_consistency,
+    verify_inclusion,
+)
+from repro.errors import MerkleError
+
+
+class TestHashing:
+    def test_leaf_domain_separation(self):
+        data = b"hello"
+        assert leaf_hash(data) == hashlib.sha256(b"\x00" + data).digest()
+        assert leaf_hash(data) != hashlib.sha256(data).digest()
+
+    def test_node_hash(self):
+        left, right = b"L" * 32, b"R" * 32
+        assert node_hash(left, right) == hashlib.sha256(
+            b"\x01" + left + right).digest()
+
+    def test_empty_tree_root(self):
+        assert root_of([]) == hashlib.sha256(b"").digest()
+
+    def test_single_leaf_root(self):
+        assert root_of([b"x"]) == leaf_hash(b"x")
+
+    def test_rfc6962_structure_for_three(self):
+        leaves = [b"a", b"b", b"c"]
+        expected = node_hash(node_hash(leaf_hash(b"a"), leaf_hash(b"b")),
+                             leaf_hash(b"c"))
+        assert root_of(leaves) == expected
+
+
+_LEAVES = st.lists(st.binary(min_size=0, max_size=16), min_size=1, max_size=40)
+
+
+class TestInclusionProofs:
+    def test_known_small_tree(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        root = root_of(leaves)
+        for i, leaf in enumerate(leaves):
+            proof = inclusion_proof(leaves, i)
+            assert verify_inclusion(leaf, i, len(leaves), proof, root)
+
+    def test_bad_index_raises(self):
+        with pytest.raises(MerkleError):
+            inclusion_proof([b"a"], 1)
+
+    def test_single_leaf_empty_proof(self):
+        assert inclusion_proof([b"a"], 0) == []
+        assert verify_inclusion(b"a", 0, 1, [], root_of([b"a"]))
+
+    @given(_LEAVES, st.data())
+    @settings(max_examples=120)
+    def test_all_proofs_verify(self, leaves, data):
+        index = data.draw(st.integers(0, len(leaves) - 1))
+        root = root_of(leaves)
+        proof = inclusion_proof(leaves, index)
+        assert verify_inclusion(leaves[index], index, len(leaves), proof, root)
+
+    @given(_LEAVES, st.data())
+    @settings(max_examples=80)
+    def test_tampered_leaf_fails(self, leaves, data):
+        index = data.draw(st.integers(0, len(leaves) - 1))
+        root = root_of(leaves)
+        proof = inclusion_proof(leaves, index)
+        assert not verify_inclusion(leaves[index] + b"!", index,
+                                    len(leaves), proof, root)
+
+    @given(_LEAVES, st.data())
+    @settings(max_examples=80)
+    def test_wrong_index_fails(self, leaves, data):
+        if len(leaves) < 2:
+            return
+        index = data.draw(st.integers(0, len(leaves) - 2))
+        root = root_of(leaves)
+        proof = inclusion_proof(leaves, index)
+        if leaves[index] != leaves[index + 1]:
+            assert not verify_inclusion(leaves[index], index + 1,
+                                        len(leaves), proof, root)
+
+    def test_out_of_range_index_fails_verification(self):
+        assert not verify_inclusion(b"a", 5, 2, [], root_of([b"a", b"b"]))
+
+
+class TestConsistencyProofs:
+    @given(_LEAVES, st.data())
+    @settings(max_examples=120)
+    def test_all_consistency_proofs_verify(self, leaves, data):
+        old_size = data.draw(st.integers(1, len(leaves)))
+        old_root = root_of(leaves[:old_size])
+        new_root = root_of(leaves)
+        proof = consistency_proof(leaves, old_size)
+        assert verify_consistency(old_size, len(leaves), old_root,
+                                  new_root, proof)
+
+    @given(_LEAVES, st.data())
+    @settings(max_examples=60)
+    def test_forked_history_fails(self, leaves, data):
+        if len(leaves) < 2:
+            return
+        old_size = data.draw(st.integers(1, len(leaves) - 1))
+        proof = consistency_proof(leaves, old_size)
+        fake_old_root = root_of(leaves[:old_size] + [b"forged"])
+        assert not verify_consistency(old_size, len(leaves), fake_old_root,
+                                      root_of(leaves), proof)
+
+    def test_same_size_trivial(self):
+        leaves = [b"a", b"b"]
+        root = root_of(leaves)
+        assert consistency_proof(leaves, 2) == []
+        assert verify_consistency(2, 2, root, root, [])
+
+    def test_bad_old_size_raises(self):
+        with pytest.raises(MerkleError):
+            consistency_proof([b"a"], 0)
+        with pytest.raises(MerkleError):
+            consistency_proof([b"a"], 2)
+
+    def test_inverted_sizes_fail(self):
+        assert not verify_consistency(3, 2, b"x", b"y", [])
+
+
+class TestMerkleTree:
+    def test_append_returns_indices(self):
+        tree = MerkleTree()
+        assert [tree.append(bytes([i])) for i in range(4)] == [0, 1, 2, 3]
+        assert len(tree) == 4
+
+    def test_root_matches_functional(self):
+        tree = MerkleTree()
+        leaves = [b"a", b"b", b"c"]
+        for leaf in leaves:
+            tree.append(leaf)
+        assert tree.root() == root_of(leaves)
+
+    def test_historical_roots(self):
+        tree = MerkleTree()
+        for leaf in (b"a", b"b", b"c"):
+            tree.append(leaf)
+        assert tree.root(2) == root_of([b"a", b"b"])
+
+    def test_root_of_invalid_size(self):
+        with pytest.raises(MerkleError):
+            MerkleTree().root(3)
+
+    def test_prove_through_tree(self):
+        tree = MerkleTree()
+        for i in range(10):
+            tree.append(bytes([i]))
+        proof = tree.prove_inclusion(4)
+        assert verify_inclusion(bytes([4]), 4, 10, proof, tree.root())
+
+    def test_consistency_through_tree(self):
+        tree = MerkleTree()
+        for i in range(7):
+            tree.append(bytes([i]))
+        old_root = tree.root(3)
+        proof = tree.prove_consistency(3)
+        assert verify_consistency(3, 7, old_root, tree.root(), proof)
+
+    def test_leaf_access(self):
+        tree = MerkleTree()
+        tree.append(b"q")
+        assert tree.leaf(0) == b"q"
+        with pytest.raises(MerkleError):
+            tree.leaf(1)

@@ -1,0 +1,58 @@
+"""End-to-end determinism: same seed ⇒ bit-identical results."""
+
+import pytest
+
+from repro.analysis.report import full_report
+from repro.core.pipeline import run_pipeline
+from repro.workload.scenario import ScenarioConfig, build_world
+
+
+CONFIG = ScenarioConfig(seed=21, scale=1 / 5000, tlds=["com", "xyz", "top"],
+                        include_cctld=False)
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    first = run_pipeline(build_world(CONFIG))
+    second = run_pipeline(build_world(CONFIG))
+    return first, second
+
+
+class TestDeterminism:
+    def test_candidate_sets_identical(self, run_pair):
+        first, second = run_pair
+        assert set(first.candidates) == set(second.candidates)
+        for domain in first.candidates:
+            assert (first.candidates[domain].ct_seen_at
+                    == second.candidates[domain].ct_seen_at)
+
+    def test_rdap_outcomes_identical(self, run_pair):
+        first, second = run_pair
+        for domain in first.rdap:
+            a, b = first.rdap[domain], second.rdap[domain]
+            assert a.ok == b.ok and a.failure == b.failure
+
+    def test_transient_sets_identical(self, run_pair):
+        first, second = run_pair
+        assert first.confirmed_transients == second.confirmed_transients
+        assert first.rdap_failed_transients == second.rdap_failed_transients
+
+    def test_monitor_reports_identical(self, run_pair):
+        first, second = run_pair
+        for domain in list(first.monitors)[:200]:
+            a, b = first.monitors[domain], second.monitors[domain]
+            assert a == b
+
+    def test_stats_identical(self, run_pair):
+        first, second = run_pair
+        assert first.stats == second.stats
+
+    def test_reports_identical(self, run_pair):
+        first, second = run_pair
+        world = build_world(CONFIG)
+        # Rendering must be stable too (no dict-order leakage).
+        text_a = "\n".join(r.render() for r in full_report(
+            world, first, include_nod=False))
+        text_b = "\n".join(r.render() for r in full_report(
+            world, second, include_nod=False))
+        assert text_a == text_b

@@ -1,0 +1,128 @@
+"""Tests for domain-name parsing and hierarchy operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnscore import name as dnsname
+from repro.errors import DomainNameError
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert dnsname.normalize("ExAmPle.COM") == "example.com"
+
+    def test_strips_trailing_dot(self):
+        assert dnsname.normalize("example.com.") == "example.com"
+
+    def test_root_is_empty(self):
+        assert dnsname.normalize(".") == ""
+        assert dnsname.normalize("") == ""
+
+    @pytest.mark.parametrize("bad", [
+        "-leading.com", "trailing-.com", "double..dot.com",
+        "under_score.com", "spa ce.com", "a" * 64 + ".com",
+        "exämple.com",
+    ])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(DomainNameError):
+            dnsname.normalize(bad)
+
+    def test_rejects_overlong_name(self):
+        name = ".".join(["a" * 60] * 5)
+        with pytest.raises(DomainNameError):
+            dnsname.normalize(name)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(DomainNameError):
+            dnsname.normalize(42)
+
+    def test_accepts_a_labels(self):
+        assert dnsname.normalize("xn--bcher-kva.example") == "xn--bcher-kva.example"
+
+    def test_max_length_label_ok(self):
+        assert dnsname.is_valid("a" * 63 + ".com")
+
+    def test_digits_only_label_ok(self):
+        assert dnsname.is_valid("123.com")
+
+
+class TestHierarchy:
+    def test_labels(self):
+        assert dnsname.labels("a.b.com") == ["a", "b", "com"]
+        assert dnsname.labels("") == []
+
+    def test_parent(self):
+        assert dnsname.parent("a.b.com") == "b.com"
+        assert dnsname.parent("com") == ""
+
+    def test_tld_of(self):
+        assert dnsname.tld_of("www.example.shop") == "shop"
+
+    def test_tld_of_root_raises(self):
+        with pytest.raises(DomainNameError):
+            dnsname.tld_of("")
+
+    def test_is_subdomain(self):
+        assert dnsname.is_subdomain("a.example.com", "example.com")
+        assert dnsname.is_subdomain("example.com", "example.com")
+        assert not dnsname.is_subdomain("example.com", "other.com")
+        assert dnsname.is_subdomain("anything.net", "")
+
+    def test_not_subdomain_by_suffix_string(self):
+        # 'badexample.com' is NOT under 'example.com'.
+        assert not dnsname.is_subdomain("badexample.com", "example.com")
+
+    def test_strip_wildcard(self):
+        assert dnsname.strip_wildcard("*.example.com") == "example.com"
+        assert dnsname.strip_wildcard("www.example.com") == "www.example.com"
+
+    def test_ancestors(self):
+        assert list(dnsname.ancestors("a.b.example.com")) == [
+            "b.example.com", "example.com", "com"]
+
+    def test_join(self):
+        assert dnsname.join("www", "example.com") == "www.example.com"
+
+    def test_registrable_guess(self):
+        assert dnsname.registrable_guess("deep.sub.example.com") == "example.com"
+
+    def test_registrable_guess_rejects_tld(self):
+        with pytest.raises(DomainNameError):
+            dnsname.registrable_guess("com")
+
+    def test_split_sld(self):
+        assert dnsname.split_sld("www.example.com", "com") == ("example", "com")
+
+    def test_split_sld_wrong_tld(self):
+        with pytest.raises(DomainNameError):
+            dnsname.split_sld("example.com", "net")
+
+    def test_canonical_order_key(self):
+        names = ["b.com", "a.net", "a.com"]
+        ordered = sorted(names, key=dnsname.canonical_order_key)
+        assert ordered == ["a.com", "b.com", "a.net"]
+
+
+_LABEL = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                 min_size=1, max_size=20)
+
+
+class TestProperties:
+    @given(st.lists(_LABEL, min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_normalize_idempotent(self, labels):
+        name = ".".join(labels)
+        assert dnsname.normalize(dnsname.normalize(name)) == dnsname.normalize(name)
+
+    @given(st.lists(_LABEL, min_size=2, max_size=4))
+    @settings(max_examples=100)
+    def test_parent_drops_one_label(self, labels):
+        name = ".".join(labels)
+        assert dnsname.label_count(dnsname.parent(name)) == len(labels) - 1
+
+    @given(st.lists(_LABEL, min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_subdomain_of_own_tld(self, labels):
+        name = ".".join(labels)
+        assert dnsname.is_subdomain(name, dnsname.tld_of(name))

@@ -1,0 +1,174 @@
+"""Tests for RFC 1035 wire encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnscore.message import Query, RCode, noerror, nxdomain
+from repro.dnscore.records import RRType, ResourceRecord, soa_for_tld
+from repro.dnscore.wire import (
+    WireError,
+    decode_message,
+    decode_name,
+    encode_name,
+    encode_query,
+    encode_response,
+)
+
+
+class TestNames:
+    def test_roundtrip_simple(self):
+        buffer = bytearray()
+        encode_name("www.example.com", buffer)
+        name, offset = decode_name(bytes(buffer), 0)
+        assert name == "www.example.com"
+        assert offset == len(buffer)
+
+    def test_root(self):
+        buffer = bytearray()
+        encode_name("", buffer)
+        assert bytes(buffer) == b"\x00"
+        assert decode_name(b"\x00", 0) == ("", 1)
+
+    def test_compression_reuses_suffix(self):
+        buffer = bytearray()
+        offsets = {}
+        encode_name("a.example.com", buffer, offsets)
+        first_len = len(buffer)
+        encode_name("b.example.com", buffer, offsets)
+        # Second name: one label + a 2-byte pointer, far shorter.
+        assert len(buffer) - first_len == 2 + len("b") + 2 - 1
+        name_a, next_off = decode_name(bytes(buffer), 0)
+        name_b, _ = decode_name(bytes(buffer), next_off)
+        assert (name_a, name_b) == ("a.example.com", "b.example.com")
+
+    def test_pointer_loop_rejected(self):
+        # A pointer pointing at itself.
+        data = b"\xc0\x00"
+        with pytest.raises(WireError):
+            decode_name(data, 0)
+
+    def test_truncated_label(self):
+        with pytest.raises(WireError):
+            decode_name(b"\x05ab", 0)
+
+    def test_reserved_label_type(self):
+        with pytest.raises(WireError):
+            decode_name(b"\x80abc", 0)
+
+    @given(st.lists(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                            min_size=1, max_size=15),
+                    min_size=1, max_size=4))
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, labels):
+        name = ".".join(labels)
+        buffer = bytearray()
+        encode_name(name, buffer)
+        decoded, _ = decode_name(bytes(buffer), 0)
+        assert decoded == name
+
+
+class TestQueries:
+    def test_roundtrip(self):
+        wire = encode_query(Query("example.com", RRType.NS), msg_id=99)
+        message = decode_message(wire)
+        assert message.msg_id == 99
+        assert not message.is_response
+        assert message.recursion_desired
+        assert message.questions == (("example.com", RRType.NS),)
+
+    def test_short_message_rejected(self):
+        with pytest.raises(WireError):
+            decode_message(b"\x00\x01")
+
+
+class TestResponses:
+    def _roundtrip(self, response):
+        return decode_message(encode_response(response, msg_id=7))
+
+    def test_a_answer(self):
+        query = Query("example.com", RRType.A)
+        record = ResourceRecord("example.com", RRType.A, "192.0.2.55", 300)
+        message = self._roundtrip(noerror(query, (record,)))
+        assert message.is_response and message.authoritative
+        assert message.rcode == 0
+        assert message.answers == (record,)
+
+    def test_aaaa_answer(self):
+        query = Query("example.com", RRType.AAAA)
+        record = ResourceRecord("example.com", RRType.AAAA,
+                                "2001:db8:0:0:0:0:0:1", 300)
+        message = self._roundtrip(noerror(query, (record,)))
+        assert message.answers[0].rdata == "2001:db8:0:0:0:0:0:1"
+
+    def test_ns_answers_with_compression(self):
+        query = Query("example.com", RRType.NS)
+        records = tuple(
+            ResourceRecord("example.com", RRType.NS, f"ns{i}.example.com")
+            for i in (1, 2))
+        wire = encode_response(noerror(query, records))
+        message = decode_message(wire)
+        assert {r.rdata for r in message.answers} == {
+            "ns1.example.com", "ns2.example.com"}
+        # Compression must beat naive encoding.
+        naive_size = sum(len(r.owner) + len(r.rdata) + 14 for r in records)
+        assert len(wire) < naive_size + 40
+
+    def test_soa_answer(self):
+        soa = soa_for_tld("com", serial=123456)
+        query = Query("com", RRType.SOA)
+        message = self._roundtrip(noerror(query, (soa.to_record("com"),)))
+        assert "123456" in message.answers[0].rdata
+
+    def test_txt_answer(self):
+        query = Query("example.com", RRType.TXT)
+        record = ResourceRecord("example.com", RRType.TXT,
+                                "v=spf1 include:_spf.example.com -all")
+        message = self._roundtrip(noerror(query, (record,)))
+        assert message.answers[0].rdata == record.rdata
+
+    def test_long_txt_chunking(self):
+        query = Query("example.com", RRType.TXT)
+        record = ResourceRecord("example.com", RRType.TXT, "x" * 600)
+        message = self._roundtrip(noerror(query, (record,)))
+        assert message.answers[0].rdata == "x" * 600
+
+    def test_mx_answer(self):
+        query = Query("example.com", RRType.MX)
+        record = ResourceRecord("example.com", RRType.MX, "mail.example.com")
+        message = self._roundtrip(noerror(query, (record,)))
+        assert message.answers[0].rdata.endswith("mail.example.com")
+
+    def test_nxdomain(self):
+        message = self._roundtrip(nxdomain(Query("gone.com", RRType.A)))
+        assert message.rcode == RCode.NXDOMAIN.value
+        assert message.answers == ()
+
+    def test_decode_rejects_bad_rdlength(self):
+        query = Query("example.com", RRType.A)
+        record = ResourceRecord("example.com", RRType.A, "192.0.2.1")
+        wire = bytearray(encode_response(noerror(query, (record,))))
+        # Corrupt the A rdlength (last 6 bytes are rdlength+rdata).
+        wire[-6:-4] = (9).to_bytes(2, "big")
+        with pytest.raises(WireError):
+            decode_message(bytes(wire))
+
+
+class TestAgainstSimulatedAuthority:
+    def test_wire_roundtrip_of_authority_answers(self, tiny_world):
+        """Answers produced by the simulated TLD authority survive a
+        trip through the wire codec byte-for-byte."""
+        registry = next(iter(tiny_world.registries))
+        authority = registry.authority()
+        count = 0
+        for lifecycle in registry.lifecycles():
+            if lifecycle.zone_added_at is None:
+                continue
+            query = Query(lifecycle.domain, RRType.NS)
+            response = authority.lookup(query, lifecycle.zone_added_at)
+            message = decode_message(encode_response(response))
+            assert set(message.answers) == set(response.records)
+            count += 1
+            if count >= 25:
+                break
+        assert count == 25

@@ -1,0 +1,175 @@
+"""Tests for blocklists, the NOD feed, and ground-truth labelling."""
+
+import pytest
+
+from repro.intel.blocklist import Blocklist, BlocklistPanel, DEFAULT_BLOCKLISTS
+from repro.intel.nod import NODConfig, NODFeed
+from repro.registry.lifecycle import AbuseKind, DomainLifecycle
+from repro.simtime.clock import DAY, HOUR, Window, utc
+from repro.simtime.rng import RngStream
+
+
+def make_lifecycle(domain="bad.com", created=utc(2023, 11, 10),
+                   lifetime=None, malicious=True,
+                   kind=AbuseKind.PHISHING, zone_added_delta=60):
+    lc = DomainLifecycle(
+        domain=domain, tld=domain.rsplit(".", 1)[1], registrar="GoDaddy",
+        created_at=created, zone_added_at=created + zone_added_delta,
+        removed_at=None if lifetime is None else created + lifetime,
+        zone_removed_at=None if lifetime is None else created + lifetime + 60,
+        is_malicious=malicious, abuse_kind=kind if malicious else None)
+    lc.ns_timeline.set(created + zone_added_delta, frozenset({"ns1.h.net"}))
+    return lc
+
+
+class TestBlocklist:
+    def test_benign_never_flagged(self):
+        panel = BlocklistPanel(seed=1)
+        lc = make_lifecycle(malicious=False)
+        assert panel.entries_for(lc) == []
+        assert not panel.is_flagged(lc)
+
+    def test_kind_affinity(self):
+        phish_list = DEFAULT_BLOCKLISTS[1]  # PhishTank
+        assert phish_list.coverage_for(AbuseKind.PHISHING) > 0
+        assert phish_list.coverage_for(AbuseKind.MALWARE) == 0
+        assert phish_list.coverage_for(None) == 0
+
+    def test_deterministic(self):
+        lc = make_lifecycle()
+        a = BlocklistPanel(seed=9).entries_for(lc)
+        b = BlocklistPanel(seed=9).entries_for(lc)
+        assert a == b
+
+    def test_seed_changes_outcomes(self):
+        lifecycles = [make_lifecycle(domain=f"bad{i}.com", lifetime=20 * DAY)
+                      for i in range(300)]
+        flags_a = sum(BlocklistPanel(seed=1).is_flagged(lc)
+                      for lc in lifecycles)
+        flags_b = sum(BlocklistPanel(seed=2).is_flagged(lc)
+                      for lc in lifecycles)
+        assert flags_a != flags_b
+
+    def test_flag_rate_for_long_lived_malicious(self):
+        """A slow-takedown malicious population should see ~13 % flagged
+        (which × 50 % malicious share gives the paper's 6.6 %)."""
+        panel = BlocklistPanel(seed=3)
+        lifecycles = [make_lifecycle(domain=f"m{i}.com", lifetime=15 * DAY,
+                                     kind=list(AbuseKind)[i % 4])
+                      for i in range(2000)]
+        rate = sum(panel.is_flagged(lc) for lc in lifecycles) / 2000
+        assert 0.07 < rate < 0.20
+
+    def test_transients_flagged_less_and_late(self):
+        panel = BlocklistPanel(seed=3)
+        transients = [make_lifecycle(domain=f"t{i}.com", lifetime=5 * HOUR,
+                                     kind=list(AbuseKind)[i % 4])
+                      for i in range(3000)]
+        flagged = [panel.first_flag(lc) for lc in transients]
+        flagged = [(lc, entry) for lc, entry in zip(transients, flagged)
+                   if entry is not None]
+        rate = len(flagged) / len(transients)
+        assert 0.01 < rate < 0.12
+        post = sum(1 for lc, entry in flagged
+                   if entry.flagged_at >= lc.removed_at)
+        assert post / len(flagged) > 0.7  # overwhelmingly post-mortem
+
+    def test_flags_quantised_to_daily_poll(self):
+        panel = BlocklistPanel(seed=3)
+        for lc in (make_lifecycle(domain=f"q{i}.com", lifetime=20 * DAY)
+                   for i in range(500)):
+            for entry in panel.entries_for(lc):
+                if entry.flagged_at > lc.created_at:
+                    assert entry.flagged_at % DAY == 12 * HOUR
+
+    def test_window_bounds_flags(self):
+        tight = Window(utc(2023, 11, 1), utc(2023, 11, 2))
+        panel = BlocklistPanel(seed=3, window=tight)
+        lifecycles = [make_lifecycle(domain=f"w{i}.com", lifetime=30 * DAY)
+                      for i in range(200)]
+        for lc in lifecycles:
+            for entry in panel.entries_for(lc):
+                assert entry.flagged_at < tight.end
+
+    def test_panel_has_ten_lists(self):
+        assert len(DEFAULT_BLOCKLISTS) == 10
+        names = {bl.name for bl in DEFAULT_BLOCKLISTS}
+        assert {"DBL", "PhishTank", "OpenPhish", "VXVault"} <= names
+
+
+class TestNODFeed:
+    def test_never_published_invisible(self):
+        feed = NODFeed()
+        lc = make_lifecycle()
+        object.__setattr__ if False else setattr(lc, "zone_added_at", None)
+        assert not feed.detects(lc, ct_detected=True)
+        assert feed.first_seen(lc) is None
+
+    def test_deterministic_per_domain(self):
+        feed = NODFeed()
+        lc = make_lifecycle(lifetime=30 * DAY)
+        assert feed.detects(lc, True) == feed.detects(lc, True)
+
+    def test_conditional_rates(self):
+        feed = NODFeed()
+        lifecycles = [make_lifecycle(domain=f"n{i}.com", lifetime=None)
+                      for i in range(3000)]
+        with_ct = sum(feed.detects(lc, True) for lc in lifecycles) / 3000
+        without_ct = sum(feed.detects(lc, False) for lc in lifecycles) / 3000
+        assert 0.70 < with_ct < 0.85       # p_nrd_given_ct = 0.77
+        assert 0.14 < without_ct < 0.26    # p_nrd_given_no_ct = 0.20
+
+    def test_first_seen_within_live_interval(self):
+        feed = NODFeed()
+        for i in range(500):
+            lc = make_lifecycle(domain=f"f{i}.com", lifetime=6 * HOUR)
+            first = feed.first_seen(lc)
+            if first is not None:
+                assert lc.zone_added_at <= first < lc.zone_removed_at
+
+    def test_feed_for_day_filters_by_creation(self):
+        feed = NODFeed(NODConfig(p_nrd_given_ct=1.0, p_nrd_given_no_ct=1.0))
+        day = utc(2023, 11, 10)
+        on_day = make_lifecycle(domain="onday.com", created=day + HOUR)
+        off_day = make_lifecycle(domain="offday.com", created=day + 2 * DAY)
+        result = feed.feed_for_day([on_day, off_day], day, ct_detected=set())
+        assert "onday.com" in result
+        assert "offday.com" not in result
+
+    def test_transient_class_probabilities(self):
+        feed = NODFeed()
+        transients = [make_lifecycle(domain=f"t{i}.com", lifetime=8 * HOUR)
+                      for i in range(3000)]
+        rate_ct = sum(feed.detects(lc, True, transient_class=True)
+                      for lc in transients) / 3000
+        assert 0.35 < rate_ct < 0.55  # p_transient_given_ct = 0.52 minus squeeze
+
+
+class TestGroundTruthLabels:
+    def test_populations_disjoint(self, small_world):
+        truth = small_world.ground_truth
+        transients = {lc.domain for lc in truth.true_transients()}
+        early = {lc.domain for lc in truth.early_removed()}
+        assert not transients & early
+
+    def test_transients_never_in_archive(self, small_world):
+        truth = small_world.ground_truth
+        for lc in truth.true_transients()[:50]:
+            assert not small_world.archive.covers(lc.tld) or \
+                not small_world.archive.appears_ever(lc)
+
+    def test_zone_nrds_all_in_window(self, small_world):
+        truth = small_world.ground_truth
+        for lc in truth.zone_nrds()[:200]:
+            assert lc.created_at in small_world.window
+
+    def test_cctld_registry_view_consistency(self, small_world):
+        view = small_world.ground_truth.cctld_registry_view(
+            small_world.cctld_tld)
+        assert view["never_in_snapshots"] <= view["deleted_under_24h"]
+        assert view["deleted_under_24h"] <= view["registrations"]
+
+    def test_counts_by_tld_sum(self, small_world):
+        truth = small_world.ground_truth
+        by_tld = truth.transient_counts_by_tld()
+        assert sum(by_tld.values()) == len(truth.true_transients())

@@ -1,0 +1,135 @@
+"""Tests for DomainLifecycle state machines."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.registry.lifecycle import (
+    AbuseKind,
+    DomainLifecycle,
+    DomainStatus,
+    RemovalReason,
+)
+from repro.simtime.clock import DAY, HOUR
+from repro.simtime.timeline import Timeline
+
+
+def make_lifecycle(created=1000, zone_added=1060, removed=None,
+                   zone_removed=None, **kwargs):
+    lifecycle = DomainLifecycle(
+        domain="test.com", tld="com", registrar="GoDaddy",
+        created_at=created, zone_added_at=zone_added,
+        removed_at=removed, zone_removed_at=zone_removed, **kwargs)
+    if zone_added is not None:
+        lifecycle.ns_timeline.set(zone_added, frozenset({"ns1.h.net"}))
+        lifecycle.a_timeline.set(zone_added, ("192.0.2.1",))
+    return lifecycle
+
+
+class TestValidation:
+    def test_rejects_wrong_tld(self):
+        with pytest.raises(ConfigError):
+            DomainLifecycle(domain="a.net", tld="com", registrar="X",
+                            created_at=0, zone_added_at=None)
+
+    def test_rejects_zone_add_before_creation(self):
+        with pytest.raises(ConfigError):
+            DomainLifecycle(domain="a.com", tld="com", registrar="X",
+                            created_at=100, zone_added_at=50)
+
+    def test_rejects_zone_removal_before_removal(self):
+        with pytest.raises(ConfigError):
+            DomainLifecycle(domain="a.com", tld="com", registrar="X",
+                            created_at=0, zone_added_at=10,
+                            removed_at=100, zone_removed_at=50)
+
+
+class TestZoneState:
+    def test_in_zone_interval(self):
+        lc = make_lifecycle(zone_removed=5000, removed=4990)
+        assert not lc.in_zone_at(1059)
+        assert lc.in_zone_at(1060)
+        assert lc.in_zone_at(4999)
+        assert not lc.in_zone_at(5000)
+
+    def test_never_published(self):
+        lc = make_lifecycle(zone_added=None)
+        assert not lc.in_zone_at(10 ** 9)
+        assert lc.zone_lifetime == 0
+
+    def test_registered_vs_zone_views_differ(self):
+        """RDAP (registration object) and DNS (zone) disagree between
+        removal and the next provisioning run."""
+        lc = make_lifecycle(removed=2000, zone_removed=2060)
+        assert not lc.registered_at_time(2000)
+        assert lc.in_zone_at(2030)
+
+    def test_nameservers_at(self):
+        lc = make_lifecycle()
+        assert lc.nameservers_at(2000) == frozenset({"ns1.h.net"})
+        assert lc.nameservers_at(100) is None
+
+    def test_addresses_at(self):
+        lc = make_lifecycle()
+        assert lc.addresses_at(2000) == ("192.0.2.1",)
+        assert lc.addresses_at(2000, family=6) == ()
+
+    def test_lame_never_resolves_addresses(self):
+        lc = make_lifecycle(lame=True)
+        assert lc.addresses_at(2000) is None
+        assert lc.nameservers_at(2000) is not None  # delegation exists
+
+
+class TestStatus:
+    def test_active(self):
+        assert make_lifecycle().status_at(2000) is DomainStatus.ACTIVE
+
+    def test_deleted(self):
+        lc = make_lifecycle(removed=3000, zone_removed=3060)
+        assert lc.status_at(3500) is DomainStatus.DELETED
+
+    def test_pre_creation_deleted_view(self):
+        assert make_lifecycle().status_at(10) is DomainStatus.DELETED
+
+    def test_server_hold(self):
+        lc = make_lifecycle(held=True)
+        assert lc.status_at(2000) is DomainStatus.SERVER_HOLD
+
+
+class TestLifetimes:
+    def test_lifetime(self):
+        lc = make_lifecycle(removed=1000 + 6 * HOUR, zone_removed=1000 + 6 * HOUR + 60)
+        assert lc.lifetime == 6 * HOUR
+        assert lc.died_within(7 * HOUR)
+        assert not lc.died_within(5 * HOUR)
+
+    def test_alive_has_no_lifetime(self):
+        assert make_lifecycle().lifetime is None
+        assert not make_lifecycle().removed_within_a_day
+
+    def test_removed_within_a_day(self):
+        lc = make_lifecycle(removed=1000 + DAY, zone_removed=1000 + DAY + 60)
+        assert lc.removed_within_a_day
+        lc2 = make_lifecycle(removed=1000 + DAY + 1, zone_removed=1000 + DAY + 90)
+        assert not lc2.removed_within_a_day
+
+    def test_zone_lifetime(self):
+        lc = make_lifecycle(removed=5000, zone_removed=6060)
+        assert lc.zone_lifetime == 5000
+
+    def test_ns_changed_within(self):
+        lc = make_lifecycle()
+        assert not lc.ns_changed_within(24 * HOUR)
+        lc.ns_timeline.set(1060 + 2 * HOUR, frozenset({"ns1.other.net"}))
+        assert lc.ns_changed_within(24 * HOUR)
+        assert not lc.ns_changed_within(1 * HOUR)
+
+
+class TestRemovalReason:
+    def test_malicious_signals(self):
+        assert RemovalReason.ABUSE.is_malicious_signal
+        assert RemovalReason.PAYMENT_FRAUD.is_malicious_signal
+        assert not RemovalReason.DOMAIN_TASTING.is_malicious_signal
+        assert not RemovalReason.EXPIRATION.is_malicious_signal
+
+    def test_abuse_kind_str(self):
+        assert str(AbuseKind.PHISHING) == "phishing"

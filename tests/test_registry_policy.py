@@ -1,0 +1,104 @@
+"""Tests for TLD policies and zone-tick arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.registry.policy import (
+    DEFAULT_POLICIES,
+    TLDPolicy,
+    cctld,
+    gtld,
+    policy_for,
+)
+from repro.simtime.clock import DAY, HOUR, MINUTE
+
+
+class TestDefaults:
+    def test_verisign_cadence(self):
+        assert policy_for("com").zone_update_interval == MINUTE
+        assert policy_for("net").zone_update_interval == MINUTE
+
+    def test_other_gtlds_15_to_30_minutes(self):
+        for tld in ("xyz", "shop", "online", "top", "site", "store"):
+            interval = policy_for(tld).zone_update_interval
+            assert 15 * MINUTE <= interval <= 30 * MINUTE
+
+    def test_cctlds_not_in_czds(self):
+        assert not policy_for("nl").czds_participant
+        assert policy_for("com").czds_participant
+
+    def test_unknown_tld(self):
+        with pytest.raises(ConfigError):
+            policy_for("doesnotexist")
+
+    def test_all_paper_tlds_present(self):
+        for tld in ("com", "xyz", "shop", "online", "bond", "top", "net",
+                    "org", "site", "store", "fun", "nl"):
+            assert tld in DEFAULT_POLICIES
+
+
+class TestValidation:
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ConfigError):
+            TLDPolicy(tld="x", zone_update_interval=0)
+
+    def test_rejects_bad_offset(self):
+        with pytest.raises(ConfigError):
+            TLDPolicy(tld="x", zone_update_interval=60, snapshot_offset=DAY)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigError):
+            TLDPolicy(tld="x", zone_update_interval=60,
+                      late_publication_prob=1.5)
+
+
+class TestTickArithmetic:
+    def test_next_tick_at_or_after(self):
+        policy = policy_for("com")
+        for ts in (0, 1, 59, 60, 61, 12345):
+            tick = policy.next_zone_tick(ts)
+            assert tick >= ts
+            assert tick - ts < policy.zone_update_interval or tick == ts
+
+    def test_tick_on_boundary_is_identity(self):
+        policy = policy_for("com")
+        tick = policy.next_zone_tick(1000)
+        assert policy.next_zone_tick(tick) == tick
+
+    def test_ticks_are_grid_aligned(self):
+        policy = policy_for("com")
+        a = policy.next_zone_tick(5000)
+        b = policy.next_zone_tick(a + 1)
+        assert b - a == policy.zone_update_interval
+
+    def test_phase_differs_across_tlds(self):
+        phases = {policy_for(t).tick_phase() for t in ("xyz", "shop", "online",
+                                                       "top", "site")}
+        assert len(phases) > 1  # registries don't tick in lockstep
+
+    def test_tick_index_monotone(self):
+        policy = policy_for("xyz")
+        indices = [policy.tick_index(ts) for ts in range(0, 7200, 600)]
+        assert indices == sorted(indices)
+
+    def test_tick_index_counts_intervals(self):
+        policy = gtld("zz", 600, snapshot_offset=0)
+        base = policy.next_zone_tick(10_000)
+        assert policy.tick_index(base + 1800) - policy.tick_index(base) == 3
+
+    def test_registration_visible_next_tick(self):
+        """A domain registered mid-interval waits for the next run —
+        the delay Figure 1 attributes to zone cadence."""
+        policy = policy_for("xyz")
+        registered = policy.next_zone_tick(0) + 10
+        visible = policy.next_zone_tick(registered)
+        assert visible - registered == policy.zone_update_interval - 10
+
+    def test_snapshot_capture_time(self):
+        policy = policy_for("com")
+        assert (policy.snapshot_capture_time(DAY)
+                == DAY + policy.snapshot_offset)
+
+    def test_cctld_factory(self):
+        policy = cctld("zz")
+        assert not policy.czds_participant

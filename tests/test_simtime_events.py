@@ -1,0 +1,145 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simtime.clock import SimClock
+from repro.simtime.events import EventLoop
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(SimClock(0))
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, loop):
+        order = []
+        loop.call_at(30, lambda ts: order.append(("b", ts)))
+        loop.call_at(10, lambda ts: order.append(("a", ts)))
+        loop.call_at(20, lambda ts: order.append(("m", ts)))
+        loop.run()
+        assert order == [("a", 10), ("m", 20), ("b", 30)]
+
+    def test_same_instant_preserves_insertion_order(self, loop):
+        order = []
+        for tag in "abc":
+            loop.call_at(5, lambda ts, tag=tag: order.append(tag))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_with_events(self, loop):
+        loop.call_at(42, lambda ts: None)
+        loop.run()
+        assert loop.now == 42
+
+    def test_rejects_past_events(self, loop):
+        loop.clock.advance_to(100)
+        with pytest.raises(SimulationError):
+            loop.call_at(99, lambda ts: None)
+
+    def test_call_after(self, loop):
+        fired = []
+        loop.clock.advance_to(50)
+        loop.call_after(10, fired.append)
+        loop.run()
+        assert fired == [60]
+
+    def test_cancel(self, loop):
+        fired = []
+        handle = loop.call_at(10, fired.append)
+        handle.cancel()
+        assert handle.cancelled
+        loop.run()
+        assert fired == []
+
+    def test_events_can_schedule_events(self, loop):
+        fired = []
+
+        def first(ts):
+            loop.call_at(ts + 5, fired.append)
+
+        loop.call_at(10, first)
+        loop.run()
+        assert fired == [15]
+
+    def test_events_run_counter(self, loop):
+        for i in range(5):
+            loop.call_at(i, lambda ts: None)
+        loop.run()
+        assert loop.events_run == 5
+
+
+class TestRunUntil:
+    def test_runs_strictly_before(self, loop):
+        fired = []
+        loop.call_at(10, fired.append)
+        loop.call_at(20, fired.append)
+        executed = loop.run_until(20)
+        assert executed == 1
+        assert fired == [10]
+        assert loop.now == 20
+
+    def test_remaining_events_still_pending(self, loop):
+        fired = []
+        loop.call_at(10, fired.append)
+        loop.call_at(30, fired.append)
+        loop.run_until(20)
+        loop.run()
+        assert fired == [10, 30]
+
+    def test_peek(self, loop):
+        assert loop.peek() is None
+        loop.call_at(10, lambda ts: None)
+        assert loop.peek() == 10
+
+    def test_peek_skips_cancelled(self, loop):
+        handle = loop.call_at(10, lambda ts: None)
+        loop.call_at(20, lambda ts: None)
+        handle.cancel()
+        assert loop.peek() == 20
+
+    def test_run_guard_against_runaway(self, loop):
+        def reschedule(ts):
+            loop.call_at(ts + 1, reschedule)
+
+        loop.call_at(0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+
+class TestPeriodic:
+    def test_periodic_fires_on_interval(self, loop):
+        fired = []
+        loop.every(10, fired.append, first=10, until=45)
+        loop.run()
+        assert fired == [10, 20, 30, 40]
+
+    def test_periodic_default_first(self, loop):
+        fired = []
+        loop.clock.advance_to(5)
+        loop.every(10, fired.append, until=40)
+        loop.run()
+        assert fired == [15, 25, 35]
+
+    def test_stop(self, loop):
+        fired = []
+        task = loop.every(10, fired.append, first=10)
+
+        def stopper(ts):
+            task.stop()
+
+        loop.call_at(25, stopper)
+        loop.run(max_events=100)
+        assert fired == [10, 20]
+
+    def test_rejects_nonpositive_interval(self, loop):
+        with pytest.raises(SimulationError):
+            loop.every(0, lambda ts: None)
+
+    def test_zone_tick_shape(self, loop):
+        """60-second registry provisioning: the motivating use."""
+        serials = []
+        loop.every(60, lambda ts: serials.append(ts), first=0, until=300)
+        loop.run()
+        assert serials == [0, 60, 120, 180, 240]

@@ -1,0 +1,155 @@
+"""Tests for repro.simtime.rng — determinism and stream isolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtime.rng import (
+    RngStream,
+    SeedBank,
+    derive_seed,
+    spawn,
+    stable_bucket,
+    stable_hash01,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a", "b") == derive_seed(7, "a", "b")
+
+    def test_path_sensitive(self):
+        assert derive_seed(7, "a", "b") != derive_seed(7, "ab")
+
+    def test_master_sensitive(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_64_bit(self):
+        assert 0 <= derive_seed(7, "x") < 2 ** 64
+
+
+class TestRngStream:
+    def test_same_path_same_sequence(self):
+        a = RngStream(7, "workload")
+        b = RngStream(7, "workload")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_paths_diverge(self):
+        a = RngStream(7, "workload")
+        b = RngStream(7, "rdap")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_derivation(self):
+        parent = RngStream(7, "a")
+        child = parent.child("b")
+        direct = RngStream(7, "a", "b")
+        assert child.path == ("a", "b")
+        assert [child.random() for _ in range(3)] == [
+            direct.random() for _ in range(3)]
+
+    def test_bernoulli_extremes(self):
+        stream = RngStream(1, "t")
+        assert stream.bernoulli(1.0) is True
+        assert stream.bernoulli(0.0) is False
+
+    def test_bernoulli_rate(self):
+        stream = RngStream(1, "t")
+        hits = sum(stream.bernoulli(0.25) for _ in range(20000))
+        assert 0.22 < hits / 20000 < 0.28
+
+    def test_exponential_mean(self):
+        stream = RngStream(1, "exp")
+        mean = sum(stream.exponential(100.0) for _ in range(20000)) / 20000
+        assert 90 < mean < 110
+
+    def test_lognormal_median(self):
+        stream = RngStream(1, "ln")
+        samples = sorted(stream.lognormal_from_median(600, 0.9)
+                         for _ in range(20001))
+        median = samples[10000]
+        assert 540 < median < 660
+
+    def test_truncated_within_bounds(self):
+        stream = RngStream(1, "tr")
+        for _ in range(200):
+            value = stream.truncated(lambda: stream.gauss(0, 100), -10, 10)
+            assert -10 <= value <= 10
+
+    def test_weighted_choice_respects_weights(self):
+        stream = RngStream(1, "w")
+        counts = {"a": 0, "b": 0}
+        for _ in range(10000):
+            counts[stream.weighted_choice(["a", "b"], [9, 1])] += 1
+        assert counts["a"] > counts["b"] * 5
+
+    def test_poisson_small_lambda_mean(self):
+        stream = RngStream(1, "p")
+        mean = sum(stream.poisson(3.0) for _ in range(10000)) / 10000
+        assert 2.8 < mean < 3.2
+
+    def test_poisson_large_lambda_mean(self):
+        stream = RngStream(1, "p2")
+        mean = sum(stream.poisson(200.0) for _ in range(2000)) / 2000
+        assert 190 < mean < 210
+
+    def test_poisson_zero(self):
+        assert RngStream(1, "p3").poisson(0.0) == 0
+
+    def test_zipf_rank_range(self):
+        stream = RngStream(1, "z")
+        ranks = [stream.zipf_rank(10) for _ in range(1000)]
+        assert all(0 <= r < 10 for r in ranks)
+        # Rank 0 must dominate rank 9.
+        assert ranks.count(0) > ranks.count(9) * 2
+
+
+class TestSeedBank:
+    def test_memoises_streams(self):
+        bank = SeedBank(7)
+        assert bank.stream("a") is bank.stream("a")
+
+    def test_fresh_streams_restart(self):
+        bank = SeedBank(7)
+        first = bank.fresh("x").random()
+        again = bank.fresh("x").random()
+        assert first == again
+
+    def test_memoised_stream_advances(self):
+        bank = SeedBank(7)
+        first = bank.stream("x").random()
+        second = bank.stream("x").random()
+        assert first != second
+
+
+class TestStableHash:
+    def test_range(self):
+        for text in ("a", "b", "example.com"):
+            assert 0.0 <= stable_hash01(text) < 1.0
+
+    def test_deterministic_across_calls(self):
+        assert stable_hash01("example.com", "s") == stable_hash01("example.com", "s")
+
+    def test_salt_changes_value(self):
+        assert stable_hash01("x", "a") != stable_hash01("x", "b")
+
+    def test_bucket_range(self):
+        for i in range(100):
+            assert 0 <= stable_bucket(f"d{i}.com", 16) < 16
+
+    def test_bucket_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            stable_bucket("x", 0)
+
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_bucket_stable_property(self, text):
+        assert stable_bucket(text, 7) == stable_bucket(text, 7)
+
+    def test_spawn_equivalent_to_stream(self):
+        assert spawn(7, "q").random() == RngStream(7, "q").random()
+
+    def test_bucket_distribution_roughly_uniform(self):
+        counts = [0] * 8
+        for i in range(8000):
+            counts[stable_bucket(f"domain{i}.net", 8)] += 1
+        assert min(counts) > 800  # expected 1000 each
