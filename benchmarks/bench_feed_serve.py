@@ -1,0 +1,110 @@
+"""Fan-out throughput of the feed-distribution subsystem.
+
+Measures the serving path in isolation — no world build, no pipeline:
+a synthetic feed of ``RECORDS`` records is ingested into a
+:class:`repro.serve.FeedServer` and fanned out to ``CLIENTS``
+subscribers with mixed filters, then fully drained.  Reports
+**records/sec** (ingest+fan-out+delivery over wall time) and the
+delivery-lag snapshot as JSON — the serving-path baseline future perf
+PRs must not regress.
+
+Run standalone for the JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_feed_serve.py
+
+or under pytest-benchmark with the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import List
+
+from repro.core.feed import FeedRecord
+from repro.serve import FeedServer, FeedServerConfig, FilterSpec
+from repro.simtime.clock import PAPER_WINDOW
+from repro.simtime.rng import spawn
+
+RECORDS = 20_000
+CLIENTS = 100
+TLDS = ["com", "net", "xyz", "online", "site", "top", "shop", "nl"]
+
+
+def synthetic_feed(n: int = RECORDS, seed: int = 7) -> List[FeedRecord]:
+    """A deterministic feed spread across the paper window."""
+    rng = spawn(seed, "bench", "feed")
+    step = PAPER_WINDOW.duration // n
+    return [FeedRecord(domain=f"{'shop-' if i % 7 == 0 else ''}d{i}."
+                              f"{TLDS[i % len(TLDS)]}",
+                       tld=TLDS[i % len(TLDS)],
+                       seen_at=PAPER_WINDOW.start + i * step
+                       + rng.randint(0, max(1, step - 1)))
+            for i in range(n)]
+
+
+def build_server(clients: int = CLIENTS, seed: int = 7) -> FeedServer:
+    server = FeedServer(config=FeedServerConfig(
+        shards=8, max_queue_depth=RECORDS + 1))
+    rng = spawn(seed, "bench", "clients")
+    for i in range(clients):
+        roll = rng.random()
+        if roll < 0.25:
+            spec = FilterSpec()
+        elif roll < 0.85:
+            k = rng.randint(1, 3)
+            spec = FilterSpec(tlds=frozenset(rng.sample(TLDS, k)))
+        else:
+            spec = FilterSpec(domain_glob="shop-*")
+        server.subscribe(f"bench-client-{i:04d}", spec, tier="premium")
+    return server
+
+
+def run_fanout(records: List[FeedRecord],
+               server: FeedServer) -> dict:
+    """Ingest + drain everything; returns the measured report."""
+    start = time.perf_counter()
+    drained = 0
+    for i, record in enumerate(records):
+        server.ingest(record)
+        if (i + 1) % 1000 == 0:  # clients poll as the feed flows
+            drained += server.drain_all(record.seen_at, max_records=2000)
+    ingest_done = time.perf_counter()
+    drained += server.drain_until_empty(PAPER_WINDOW.end, max_rounds=10_000)
+    elapsed = time.perf_counter() - start
+    snap = server.snapshot()
+    return {
+        "records": len(records),
+        "clients": server.client_count,
+        "deliveries": drained,
+        "elapsed_sec": round(elapsed, 4),
+        "ingest_sec": round(ingest_done - start, 4),
+        "records_per_sec": round(len(records) / elapsed, 1),
+        "deliveries_per_sec": round(drained / elapsed, 1),
+        "delivery_lag": snap["delivery_lag"],
+        "dropped_queue_full": snap["dropped_queue_full"],
+        "log_segments": snap["log"]["segments"],
+    }
+
+
+def test_feed_fanout_throughput(benchmark):
+    records = synthetic_feed()
+
+    def once():
+        return run_fanout(records, build_server())
+
+    report = benchmark.pedantic(once, rounds=3, iterations=1)
+    print()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    assert report["deliveries"] > RECORDS  # fan-out actually fanned out
+    assert report["dropped_queue_full"] == 0
+
+
+def main() -> None:
+    records = synthetic_feed()
+    report = run_fanout(records, build_server())
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,3 +1,47 @@
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).resolve().parent
+
+
+def read_version() -> str:
+    text = (ROOT / "src" / "repro" / "_version.py").read_text("utf-8")
+    for line in text.splitlines():
+        if line.startswith("__version__"):
+            return line.split("=", 1)[1].strip().strip("\"'")
+    raise RuntimeError("cannot find __version__ in repro/_version.py")
+
+
+setup(
+    name="darkdns-repro",
+    version=read_version(),
+    description=("Reproduction of 'DarkDNS: Revisiting the Value of "
+                 "Rapid Zone Update' (IMC 2024) over a simulated DNS "
+                 "registration ecosystem"),
+    long_description=(ROOT / "README.md").read_text("utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3 :: Only",
+        "Topic :: Internet :: Name Service (DNS)",
+        "Topic :: Scientific/Engineering",
+    ],
+)

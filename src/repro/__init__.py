@@ -26,11 +26,13 @@ from repro.core import (
     PublicFeed,
     run_pipeline,
 )
+from repro.serve import FeedServer, FeedServerConfig, FilterSpec
 from repro.workload import ScenarioConfig, World, build_world, small_world
 
 __all__ = [
     "__version__",
     "DarkDNSPipeline", "PipelineConfig", "PipelineResult", "PublicFeed",
     "run_pipeline",
+    "FeedServer", "FeedServerConfig", "FilterSpec",
     "ScenarioConfig", "World", "build_world", "small_world",
 ]

@@ -12,11 +12,16 @@ Commands
     The Rapid-Zone-Update cadence sweep (Ablation A).
 ``probe``
     SOA-serial cadence probing of every simulated registry (§4.1).
+``serve``
+    Run the feed-distribution service: pipeline → segmented log →
+    filtered subscribers with sharded fan-out; print the metrics
+    snapshot as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -26,7 +31,10 @@ from repro.analysis.cadence import cadence_report, probe_registry
 from repro.analysis.report import full_report, render_reports
 from repro.analysis.visibility import DEFAULT_CADENCES, rzu_report, rzu_sweep
 from repro.core.pipeline import DarkDNSPipeline
+from repro.errors import ReproError
+from repro.serve import FeedServer, FeedServerConfig, FilterSpec
 from repro.simtime.clock import DAY, Window
+from repro.simtime.rng import spawn
 from repro.workload.scenario import ScenarioConfig, build_world
 
 
@@ -75,6 +83,72 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _register_serve_clients(server: FeedServer, args: argparse.Namespace,
+                            tlds: List[str]) -> None:
+    """Subscribe ``--clients`` synthetic consumers.
+
+    Explicit ``--filters`` specs are cycled across clients; otherwise
+    each client draws a deterministic filter (firehose, a small TLD
+    subset, or source-restricted) and a tier from the run's seed.
+    """
+    rng = spawn(args.seed, "serve", "clients")
+    for i in range(args.clients):
+        client_id = f"client-{i:04d}"
+        tier = rng.weighted_choice(["free", "standard", "premium"],
+                                   [0.3, 0.5, 0.2])
+        if args.filters:
+            spec = FilterSpec.parse(args.filters[i % len(args.filters)])
+        else:
+            roll = rng.random()
+            if roll < 0.3 or not tlds:
+                spec = FilterSpec()
+            elif roll < 0.85:
+                k = rng.randint(1, min(3, len(tlds)))
+                spec = FilterSpec(tlds=frozenset(rng.sample(tlds, k)))
+            else:
+                spec = FilterSpec(sources=frozenset({"ct"}))
+        server.subscribe(client_id, spec, tier=tier)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    config = FeedServerConfig(shards=args.shards,
+                              max_queue_depth=args.queue_depth,
+                              max_segment_records=args.segment_records)
+
+    if args.replay:
+        server = FeedServer(config=config)
+        _register_serve_clients(server, args, tlds=[])
+        count = server.replay(args.replay)
+        now = server.last_ingested_ts
+        print(f"replayed {count:,} records from {args.replay} "
+              f"({server.replay_skipped} skipped)", file=sys.stderr)
+    else:
+        world = _world_from(args)
+        server = FeedServer(broker=world.broker, config=config)
+        _register_serve_clients(server, args,
+                                tlds=sorted(world.registries.tlds()))
+        start = time.time()
+        DarkDNSPipeline(world).run()
+        print(f"pipeline done in {time.time() - start:.1f}s; serving to "
+              f"{server.client_count} clients", file=sys.stderr)
+        served = server.run_live(poll_interval=args.poll_interval)
+        print(f"served {served:,} records across the window",
+              file=sys.stderr)
+        now = server.last_ingested_ts
+
+    server.drain_until_empty(now, max_rounds=5000, tick=60)
+    server.log.roll()
+    compacted = server.compact()
+
+    counts = server.fanout.delivered_counts()
+    receiving = sum(1 for n in counts.values() if n > 0)
+    print(f"{receiving}/{args.clients} subscribers received records; "
+          f"compaction dropped {compacted:,} superseded records",
+          file=sys.stderr)
+    print(json.dumps(server.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_probe(args: argparse.Namespace) -> int:
     world = _world_from(args)
     window = Window(world.window.start, world.window.start + 3 * DAY)
@@ -112,12 +186,43 @@ def build_parser() -> argparse.ArgumentParser:
                              help="SOA-serial cadence probe (§4.1)")
     _add_world_args(p_probe)
     p_probe.set_defaults(func=cmd_probe)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve the public feed to simulated subscribers")
+    _add_world_args(p_serve)
+    p_serve.add_argument("--clients", type=int, default=50, metavar="N",
+                         help="subscriber population (default 50)")
+    p_serve.add_argument("--filters", nargs="+", metavar="SPEC",
+                         help="filter specs cycled across clients, e.g. "
+                              "'tld=com,xyz;glob=*shop*' (default: "
+                              "seeded per-client filters)")
+    p_serve.add_argument("--replay", metavar="PATH",
+                         help="serve a JSONL feed archive instead of "
+                              "running the pipeline")
+    p_serve.add_argument("--shards", type=int, default=4,
+                         help="fan-out delivery shards (default 4)")
+    p_serve.add_argument("--queue-depth", type=int, default=1024,
+                         help="per-client queue bound (default 1024)")
+    p_serve.add_argument("--segment-records", type=int, default=4096,
+                         help="log segment size before rolling "
+                              "(default 4096)")
+    p_serve.add_argument("--poll-interval", type=int, default=3600,
+                         metavar="SECONDS",
+                         help="simulated time between client polls "
+                              "during live replay (default 3600)")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        # Bad user input (filter specs, paths, config) gets one clean
+        # line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

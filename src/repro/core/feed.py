@@ -9,9 +9,10 @@ records with JSONL round-tripping so downstream users can replay it.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.records import Candidate
 from repro.simtime.clock import DAY, day_floor, isoformat
@@ -44,12 +45,36 @@ class FeedRecord:
                    source=payload.get("source", "ct"))
 
 
+def read_jsonl_records(path: Path) -> Tuple[List[FeedRecord], int]:
+    """Read feed records from a JSONL file, tolerating corruption.
+
+    Blank lines are ignored; malformed lines are skipped and counted.
+    Returns ``(records, skipped)`` — the shared loader behind
+    :meth:`PublicFeed.from_jsonl` and the feed server's archive
+    replay, so their tolerance semantics cannot drift apart.
+    """
+    records: List[FeedRecord] = []
+    skipped = 0
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(FeedRecord.from_json(line))
+            except (ValueError, KeyError, TypeError):
+                skipped += 1
+    return records, skipped
+
+
 class PublicFeed:
     """An append-only, time-ordered detection feed."""
 
     def __init__(self) -> None:
         self._records: List[FeedRecord] = []
         self._domains: Set[str] = set()
+        #: Malformed lines skipped by the last :meth:`from_jsonl` load.
+        self.load_errors: int = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -94,13 +119,23 @@ class PublicFeed:
 
     @classmethod
     def from_jsonl(cls, path: Path) -> "PublicFeed":
+        """Load a feed archive, skipping (and counting) malformed lines.
+
+        Real archive files get truncated and corrupted; one bad line
+        must not lose the rest of the feed.  Skipped lines are counted
+        in :attr:`load_errors` and reported once via :mod:`warnings`.
+        The loaded feed is re-finalized so ordering invariants hold
+        even for archives written out of order.
+        """
         feed = cls()
-        with Path(path).open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                record = FeedRecord.from_json(line)
-                feed._records.append(record)
-                feed._domains.add(record.domain)
+        records, skipped = read_jsonl_records(path)
+        for record in records:
+            feed._records.append(record)
+            feed._domains.add(record.domain)
+        feed.load_errors = skipped
+        if skipped:
+            warnings.warn(
+                f"{path}: skipped {skipped} malformed feed line(s)",
+                stacklevel=2)
+        feed.finalize()
         return feed

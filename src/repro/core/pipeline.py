@@ -49,13 +49,22 @@ class PipelineConfig:
 
 
 class DarkDNSPipeline:
-    """One configured pipeline bound to a world."""
+    """One configured pipeline bound to a world.
+
+    ``serve`` optionally attaches a feed-distribution service (any
+    object with a ``pump()`` method, e.g.
+    :class:`repro.serve.FeedServer` built on ``world.broker``): after
+    the feed is published to the broker topic, the pipeline pumps the
+    server so subscribers see the records within the same run.
+    """
 
     def __init__(self, world: World,
-                 config: Optional[PipelineConfig] = None) -> None:
+                 config: Optional[PipelineConfig] = None,
+                 serve=None) -> None:
         self.world = world
         self.config = config if config is not None else PipelineConfig()
         self.feed = PublicFeed()
+        self.serve = serve
 
     def run(self) -> PipelineResult:
         world = self.world
@@ -76,6 +85,8 @@ class DarkDNSPipeline:
             world.broker.produce(TOPIC_FEED, record.domain, record,
                                  record.seen_at)
         self.feed.finalize()
+        if self.serve is not None:
+            self.serve.pump()
 
         # Step 2 — RDAP collection.
         collector = RDAPCollector(world.registries, config.rdap,

@@ -119,3 +119,19 @@ class UnknownTopicError(BusError):
 
 class OffsetError(BusError):
     """A consumer seeked outside the valid offset range."""
+
+
+# --------------------------------------------------------------------------
+# Feed serving
+# --------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """Base class for feed-distribution (``repro.serve``) errors."""
+
+
+class UnknownClientError(ServeError):
+    """An operation referenced a client id with no active subscription."""
+
+
+class EvictedClientError(ServeError):
+    """The client was evicted as a slow consumer and must resubscribe."""

@@ -1,0 +1,347 @@
+"""Segmented append-only log backing the feed-distribution service.
+
+The public feed must be servable to many consumers at different read
+positions, which an in-memory list cannot do once the feed outgrows a
+single process lifetime.  :class:`SegmentedLog` stores feed records in
+**segments** — bounded runs of consecutive offsets — that roll when they
+reach a record-count or time-span limit, exactly like the log segments
+of a Kafka partition.  Each segment carries an offset index (its base
+offset) and a time index (first/last record timestamp), so replaying
+"everything since timestamp T" touches only the segments whose time
+range can overlap T instead of scanning the whole log.
+
+Sealed segments can be persisted as JSONL files under a directory and
+reloaded later, which is how a feed server restarts without replaying
+the producing pipeline.  A per-domain **compaction** pass rewrites
+sealed segments keeping only the newest record per domain — the
+"current state" view consumers ask for when they do not care about
+history (the same contract as a Kafka compacted topic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.feed import FeedRecord
+from repro.errors import OffsetError, ServeError
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Index entry describing one segment (for stats and lookups)."""
+
+    base_offset: int
+    length: int
+    first_ts: int
+    last_ts: int
+    sealed: bool
+
+    @property
+    def end_offset(self) -> int:
+        return self.base_offset + self.length
+
+
+class Segment:
+    """One bounded run of consecutive offsets."""
+
+    __slots__ = ("base_offset", "records", "first_ts", "last_ts", "sealed")
+
+    def __init__(self, base_offset: int) -> None:
+        self.base_offset = base_offset
+        self.records: List[FeedRecord] = []
+        self.first_ts: Optional[int] = None
+        self.last_ts: Optional[int] = None
+        self.sealed = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def end_offset(self) -> int:
+        return self.base_offset + len(self.records)
+
+    def append(self, record: FeedRecord) -> int:
+        if self.sealed:
+            raise ServeError("cannot append to a sealed segment")
+        if self.first_ts is None:
+            self.first_ts = record.seen_at
+        # Producers may publish slightly out of order; the time index
+        # must cover the true min/max to keep replay_since() correct.
+        self.first_ts = min(self.first_ts, record.seen_at)
+        self.last_ts = (record.seen_at if self.last_ts is None
+                        else max(self.last_ts, record.seen_at))
+        offset = self.end_offset
+        self.records.append(record)
+        return offset
+
+    def info(self) -> SegmentInfo:
+        return SegmentInfo(
+            base_offset=self.base_offset, length=len(self.records),
+            first_ts=self.first_ts if self.first_ts is not None else 0,
+            last_ts=self.last_ts if self.last_ts is not None else 0,
+            sealed=self.sealed)
+
+
+class SegmentedLog:
+    """An offset-addressed log of feed records with rolling segments.
+
+    ``max_segment_records`` and ``max_segment_span`` bound each
+    segment's record count and covered time span; hitting either rolls
+    the active segment.  ``directory`` (optional) enables persistence:
+    sealed segments are written as ``segment-<base>.jsonl`` on roll and
+    on :meth:`flush`.
+    """
+
+    def __init__(self, max_segment_records: int = 4096,
+                 max_segment_span: Optional[int] = None,
+                 directory: Optional[Path] = None) -> None:
+        if max_segment_records <= 0:
+            raise ServeError("max_segment_records must be positive")
+        if max_segment_span is not None and max_segment_span <= 0:
+            raise ServeError("max_segment_span must be positive")
+        self.max_segment_records = max_segment_records
+        self.max_segment_span = max_segment_span
+        self.directory = Path(directory) if directory is not None else None
+        self._segments: List[Segment] = [Segment(0)]
+        self._compactions = 0
+
+    # -- append / roll --------------------------------------------------------
+
+    @property
+    def _active(self) -> Segment:
+        return self._segments[-1]
+
+    @property
+    def start_offset(self) -> int:
+        """First offset still held (compaction may advance it past 0)."""
+        return self._segments[0].base_offset
+
+    @property
+    def end_offset(self) -> int:
+        """Offset the next appended record will receive."""
+        return self._active.end_offset
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._segments)
+
+    def append(self, record: FeedRecord) -> int:
+        """Append one record, rolling the active segment when full."""
+        active = self._active
+        if self._should_roll(active, record):
+            self.roll()
+            active = self._active
+        return active.append(record)
+
+    def _should_roll(self, segment: Segment, record: FeedRecord) -> bool:
+        if not len(segment):
+            return False
+        if len(segment) >= self.max_segment_records:
+            return True
+        if self.max_segment_span is not None and segment.first_ts is not None:
+            span = max(record.seen_at, segment.last_ts or 0) - segment.first_ts
+            if span >= self.max_segment_span:
+                return True
+        return False
+
+    def roll(self) -> Optional[SegmentInfo]:
+        """Seal the active segment and open a new one.
+
+        No-op (returns None) when the active segment is empty.  Sealed
+        segments are persisted immediately when a directory is set.
+        """
+        active = self._active
+        if not len(active):
+            return None
+        active.sealed = True
+        if self.directory is not None:
+            self._write_segment(active)
+        self._segments.append(Segment(active.end_offset))
+        return active.info()
+
+    # -- reads ----------------------------------------------------------------
+
+    def read(self, offset: int, max_records: int = 500) -> List[FeedRecord]:
+        """Read up to ``max_records`` starting at a global offset."""
+        if offset < 0:
+            raise OffsetError(f"negative offset {offset}")
+        if offset < self.start_offset:
+            raise OffsetError(
+                f"offset {offset} compacted away (log starts at "
+                f"{self.start_offset})")
+        out: List[FeedRecord] = []
+        for segment in self._find_segments_from(offset):
+            if len(out) >= max_records:
+                break
+            start = max(0, offset - segment.base_offset)
+            out.extend(segment.records[start:start + max_records - len(out)])
+        return out
+
+    def _find_segments_from(self, offset: int) -> Iterator[Segment]:
+        """Segments that may contain ``offset`` or later (binary search)."""
+        lo, hi = 0, len(self._segments) - 1
+        first = len(self._segments) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self._segments[mid].end_offset > offset:
+                first = mid
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return iter(self._segments[first:])
+
+    def replay_since(self, since_ts: int,
+                     max_records: Optional[int] = None) -> List[FeedRecord]:
+        """All records with ``seen_at >= since_ts``, using the time index.
+
+        Segments whose ``last_ts`` precedes ``since_ts`` are skipped
+        without touching their records.
+        """
+        out: List[FeedRecord] = []
+        for segment in self._segments:
+            if segment.last_ts is None or segment.last_ts < since_ts:
+                continue
+            for record in segment.records:
+                if record.seen_at >= since_ts:
+                    out.append(record)
+                    if max_records is not None and len(out) >= max_records:
+                        return out
+        return out
+
+    def iter_records(self) -> Iterator[FeedRecord]:
+        for segment in self._segments:
+            yield from segment.records
+
+    # -- compaction -----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite sealed segments keeping only the newest record per
+        domain; returns the number of records dropped.
+
+        Offsets of surviving records change (they are re-packed into
+        fresh sealed segments starting at the old ``start_offset``), so
+        compaction is for state-serving logs, not offset-stable replay —
+        the same trade Kafka's compacted topics make.  The active
+        (unsealed) segment is left untouched.
+        """
+        sealed = [s for s in self._segments if s.sealed]
+        if not sealed:
+            return 0
+        latest: Dict[str, FeedRecord] = {}
+        total = 0
+        for segment in sealed:
+            for record in segment.records:
+                total += 1
+                prior = latest.get(record.domain)
+                if prior is None or record.seen_at >= prior.seen_at:
+                    latest[record.domain] = record
+        survivors = sorted(latest.values(),
+                           key=lambda r: (r.seen_at, r.domain))
+        dropped = total - len(survivors)
+
+        rebuilt: List[Segment] = []
+        base = self._segments[0].base_offset
+        current = Segment(base)
+        for record in survivors:
+            if len(current) >= self.max_segment_records:
+                current.sealed = True
+                rebuilt.append(current)
+                current = Segment(current.end_offset)
+            current.append(record)
+        current.sealed = True
+        rebuilt.append(current)
+
+        # Re-base the active segment after the compacted tail.
+        active = self._segments[-1] if not self._segments[-1].sealed else None
+        tail_end = rebuilt[-1].end_offset
+        if active is not None:
+            active.base_offset = tail_end
+            self._segments = rebuilt + [active]
+        else:
+            self._segments = rebuilt + [Segment(tail_end)]
+        self._compactions += 1
+        if self.directory is not None:
+            self._rewrite_directory()
+        return dropped
+
+    # -- persistence ----------------------------------------------------------
+
+    def _segment_path(self, segment: Segment) -> Path:
+        assert self.directory is not None
+        return self.directory / f"segment-{segment.base_offset:012d}.jsonl"
+
+    def _write_segment(self, segment: Segment) -> None:
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self._segment_path(segment).open("w", encoding="utf-8") as fh:
+            for record in segment.records:
+                fh.write(record.to_json())
+                fh.write("\n")
+
+    def _rewrite_directory(self) -> None:
+        """Replace on-disk segments after compaction re-packed offsets."""
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for stale in self.directory.glob("segment-*.jsonl"):
+            stale.unlink()
+        for segment in self._segments:
+            if segment.sealed and len(segment):
+                self._write_segment(segment)
+
+    def flush(self) -> int:
+        """Seal + persist everything buffered; returns segments written."""
+        if self.directory is None:
+            raise ServeError("flush() needs a log directory")
+        self.roll()
+        written = 0
+        for segment in self._segments:
+            if segment.sealed and len(segment):
+                self._write_segment(segment)
+                written += 1
+        return written
+
+    @classmethod
+    def load(cls, directory: Path, **kwargs) -> "SegmentedLog":
+        """Rebuild a log from a directory of sealed segment files."""
+        directory = Path(directory)
+        log = cls(directory=directory, **kwargs)
+        paths = sorted(directory.glob("segment-*.jsonl"))
+        if not paths:
+            return log
+        segments: List[Segment] = []
+        for path in paths:
+            base = int(path.stem.split("-", 1)[1])
+            segment = Segment(base)
+            with path.open("r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if line:
+                        segment.append(FeedRecord.from_json(line))
+            segment.sealed = True
+            segments.append(segment)
+        for prev, nxt in zip(segments, segments[1:]):
+            if prev.end_offset != nxt.base_offset:
+                raise ServeError(
+                    f"segment gap: {prev.end_offset} != {nxt.base_offset}")
+        log._segments = segments + [Segment(segments[-1].end_offset)]
+        return log
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def compactions(self) -> int:
+        return self._compactions
+
+    def segment_infos(self) -> List[SegmentInfo]:
+        return [s.info() for s in self._segments]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "segments": len(self._segments),
+            "sealed_segments": sum(1 for s in self._segments if s.sealed),
+            "records": len(self),
+            "start_offset": self.start_offset,
+            "end_offset": self.end_offset,
+            "compactions": self._compactions,
+        }

@@ -1,5 +1,6 @@
 """Smoke tests: the CLI and every example run end to end."""
 
+import json
 import runpy
 import subprocess
 import sys
@@ -48,11 +49,33 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Table 1" in out and "overall:" in out
 
+    def test_serve_command(self, capsys):
+        rc = main(["serve", "--scale", "5000", "--no-cctld", "--seed", "3",
+                   "--clients", "10"])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["published"] > 50
+        assert snap["delivered"] > 0
+        assert "delivery_lag" in snap and "dropped_queue_full" in snap
+
+    def test_serve_replay_command(self, tmp_path, capsys):
+        archive = tmp_path / "feed.jsonl"
+        rc = main(["feed", "--scale", "5000", "--no-cctld",
+                   "--output", str(archive)])
+        assert rc == 0
+        rc = main(["serve", "--replay", str(archive), "--clients", "5",
+                   "--queue-depth", "5000",
+                   "--filters", "tld=com", "glob=*a*"])
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["published"] > 50 and snap["delivered"] > 0
+
 
 @pytest.mark.parametrize("script", [
     "quickstart.py",
     "rapid_zone_updates.py",
     "public_feed.py",
+    "feed_server.py",
 ])
 def test_example_runs(script, tmp_path, monkeypatch, capsys):
     """Examples must execute cleanly via the public API."""
