@@ -8,6 +8,9 @@ counts.  Building it costs ~10 s once per benchmark session.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core.pipeline import run_pipeline
@@ -16,6 +19,26 @@ from repro.workload.scenario import ScenarioConfig, build_world
 #: 1/200 of the paper's population (Table 1: 16.3 M zone NRDs).
 BENCH_SCALE = 1 / 200
 BENCH_SEED = 7
+
+#: Committed perf baselines live next to the benches that produce them.
+BASELINE_DIR = Path(__file__).resolve().parent
+
+
+def write_baseline(name: str, payload: dict) -> Path:
+    """Persist a machine-readable ``BENCH_<name>.json`` perf baseline.
+
+    One file per harness (probes/sec, p99 lag, ...) so the perf
+    trajectory across PRs is a series of comparable data points.
+    """
+    path = BASELINE_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_baseline():
+    """The baseline writer as a fixture, for benches run under pytest."""
+    return write_baseline
 
 
 @pytest.fixture(scope="session")

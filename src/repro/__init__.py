@@ -26,6 +26,7 @@ from repro.core import (
     PublicFeed,
     run_pipeline,
 )
+from repro.scan import ScanConfig, ScanEngine
 from repro.serve import FeedServer, FeedServerConfig, FilterSpec
 from repro.workload import ScenarioConfig, World, build_world, small_world
 
@@ -33,6 +34,7 @@ __all__ = [
     "__version__",
     "DarkDNSPipeline", "PipelineConfig", "PipelineResult", "PublicFeed",
     "run_pipeline",
+    "ScanConfig", "ScanEngine",
     "FeedServer", "FeedServerConfig", "FilterSpec",
     "ScenarioConfig", "World", "build_world", "small_world",
 ]

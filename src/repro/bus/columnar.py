@@ -10,6 +10,7 @@ third-party dependency — the point is the access pattern, not the codec.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -17,7 +18,14 @@ from repro.errors import BusError
 
 
 class ColumnStore:
-    """An append-only table stored column-wise."""
+    """An append-only table stored column-wise.
+
+    Point and range lookups can be served from lazily built secondary
+    indexes (:meth:`rows_where`, :meth:`rows_in_range`): an index is
+    created on first use, caught up incrementally on later queries, and
+    never blocks appends — the access pattern of a measurement sink
+    that is written hot and queried occasionally.
+    """
 
     def __init__(self, name: str, columns: Sequence[str]) -> None:
         if not columns:
@@ -25,6 +33,10 @@ class ColumnStore:
         self.name = name
         self.columns: Tuple[str, ...] = tuple(columns)
         self._data: Dict[str, List[Any]] = {c: [] for c in self.columns}
+        # column -> ({value: [row indices]}, rows indexed so far)
+        self._hash_indexes: Dict[str, List[Any]] = {}
+        # column -> ([sorted values], [parallel row indices], rows so far)
+        self._sorted_indexes: Dict[str, List[Any]] = {}
 
     def __len__(self) -> int:
         return len(self._data[self.columns[0]])
@@ -73,6 +85,48 @@ class ColumnStore:
         for value in self.column(column):
             counts[value] = counts.get(value, 0) + 1
         return counts
+
+    # -- indexed lookups ---------------------------------------------------------
+
+    def _hash_index(self, column: str) -> Dict[Any, List[int]]:
+        values = self.column(column)
+        state = self._hash_indexes.get(column)
+        if state is None:
+            state = [{}, 0]
+            self._hash_indexes[column] = state
+        index, upto = state
+        for i in range(upto, len(values)):
+            index.setdefault(values[i], []).append(i)
+        state[1] = len(values)
+        return index
+
+    def rows_where(self, column: str, value: Any) -> List[Dict[str, Any]]:
+        """All rows whose ``column`` equals ``value`` (hash-indexed)."""
+        return [self.row(i) for i in self._hash_index(column).get(value, ())]
+
+    def _sorted_index(self, column: str) -> Tuple[List[Any], List[int]]:
+        values = self.column(column)
+        state = self._sorted_indexes.get(column)
+        if state is None:
+            state = [[], [], 0]
+            self._sorted_indexes[column] = state
+        keys, rows, upto = state
+        if upto < len(values):
+            for i in range(upto, len(values)):
+                keys.append(values[i])
+                rows.append(i)
+            order = sorted(range(len(keys)), key=keys.__getitem__)
+            state[0] = [keys[j] for j in order]
+            state[1] = [rows[j] for j in order]
+            state[2] = len(values)
+        return state[0], state[1]
+
+    def rows_in_range(self, column: str, lo: Any, hi: Any) -> List[Dict[str, Any]]:
+        """Rows with ``lo <= column < hi``, in column order (sorted index)."""
+        keys, rows = self._sorted_index(column)
+        start = bisect_left(keys, lo)
+        end = bisect_left(keys, hi)
+        return [self.row(i) for i in rows[start:end]]
 
     # -- persistence -------------------------------------------------------------
 

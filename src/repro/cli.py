@@ -16,6 +16,15 @@ Commands
     Run the feed-distribution service: pipeline → segmented log →
     filtered subscribers with sharded fan-out; print the metrics
     snapshot as JSON.
+``scan``
+    Bulk-measure every CT-detected candidate through the scan engine
+    (scheduler + rate-limited probe fleet); print the engine metrics
+    snapshot as JSON.
+
+Error reporting is uniform across subcommands: bad user input (flag
+values, filter specs, durations, paths) exits 2 with one clean line on
+stderr — argparse-level validation and :class:`~repro.errors.ReproError`
+/ :class:`OSError` raised later share that same contract.
 """
 
 from __future__ import annotations
@@ -30,18 +39,42 @@ from repro._version import __version__
 from repro.analysis.cadence import cadence_report, probe_registry
 from repro.analysis.report import full_report, render_reports
 from repro.analysis.visibility import DEFAULT_CADENCES, rzu_report, rzu_sweep
+from repro.core.ctdetect import CTDetector
 from repro.core.pipeline import DarkDNSPipeline
 from repro.errors import ReproError
+from repro.scan import ProbeResultStore, ScanConfig, ScanEngine
 from repro.serve import FeedServer, FeedServerConfig, FilterSpec
-from repro.simtime.clock import DAY, Window
+from repro.simtime.clock import DAY, Window, parse_duration
 from repro.simtime.rng import spawn
 from repro.workload.scenario import ScenarioConfig, build_world
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a clean message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {value}")
+    return value
 
 
 def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7,
                         help="master seed (default 7)")
-    parser.add_argument("--scale", type=int, default=500, metavar="N",
+    parser.add_argument("--scale", type=_positive_int, default=500,
+                        metavar="N",
                         help="run at 1/N of the paper's volumes (default 500)")
     parser.add_argument("--no-cctld", action="store_true",
                         help="skip the .nl ground-truth registry")
@@ -149,6 +182,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scan(args: argparse.Namespace) -> int:
+    # Validate user input before paying for the world build.
+    config = ScanConfig(
+        probe_interval=parse_duration(args.interval),
+        duration=parse_duration(args.duration),
+        workers=args.workers,
+        qps_per_authority=args.qps,
+        probe_budget=args.budget,
+        jitter=args.jitter,
+        terminate_nxdomain_streak=args.nxdomain_streak)
+    world = _world_from(args)
+    detector = CTDetector(archive=world.archive,
+                          known_tlds=world.registries.tlds(),
+                          broker=world.broker)
+    candidates = detector.run(world.certstream,
+                              world.window.start, world.window.end)
+    store = ProbeResultStore() if args.store else None
+    engine = ScanEngine(world.registries, config,
+                        broker=world.broker, store=store)
+    print(f"scanning {len(candidates):,} CT candidates "
+          f"({config.duration // 3600}h window, "
+          f"{config.probe_interval // 60}-min grid, "
+          f"{config.workers} workers)", file=sys.stderr)
+    start = time.time()
+    reports = engine.observe_all(
+        {d: c.ct_seen_at for d, c in candidates.items()})
+    elapsed = time.time() - start
+    resolved = sum(1 for r in reports.values() if r.ever_resolved)
+    print(f"scanned {len(reports):,} domains "
+          f"({resolved:,} ever resolved) with "
+          f"{engine.metrics.probes_sent.value:,} probes "
+          f"in {elapsed:.1f}s", file=sys.stderr)
+    if args.store:
+        store.save(args.store)
+        print(f"wrote {len(store):,} probe outcomes to {args.store}",
+              file=sys.stderr)
+    print(json.dumps(engine.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_probe(args: argparse.Namespace) -> int:
     world = _world_from(args)
     window = Window(world.window.start, world.window.start + 3 * DAY)
@@ -190,7 +263,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="serve the public feed to simulated subscribers")
     _add_world_args(p_serve)
-    p_serve.add_argument("--clients", type=int, default=50, metavar="N",
+    p_serve.add_argument("--clients", type=_positive_int, default=50,
+                         metavar="N",
                          help="subscriber population (default 50)")
     p_serve.add_argument("--filters", nargs="+", metavar="SPEC",
                          help="filter specs cycled across clients, e.g. "
@@ -199,18 +273,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--replay", metavar="PATH",
                          help="serve a JSONL feed archive instead of "
                               "running the pipeline")
-    p_serve.add_argument("--shards", type=int, default=4,
+    p_serve.add_argument("--shards", type=_positive_int, default=4,
                          help="fan-out delivery shards (default 4)")
-    p_serve.add_argument("--queue-depth", type=int, default=1024,
+    p_serve.add_argument("--queue-depth", type=_positive_int, default=1024,
                          help="per-client queue bound (default 1024)")
-    p_serve.add_argument("--segment-records", type=int, default=4096,
+    p_serve.add_argument("--segment-records", type=_positive_int,
+                         default=4096,
                          help="log segment size before rolling "
                               "(default 4096)")
-    p_serve.add_argument("--poll-interval", type=int, default=3600,
+    p_serve.add_argument("--poll-interval", type=_positive_int, default=3600,
                          metavar="SECONDS",
                          help="simulated time between client polls "
                               "during live replay (default 3600)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_scan = sub.add_parser(
+        "scan", help="bulk-measure CT candidates with the scan engine")
+    _add_world_args(p_scan)
+    p_scan.add_argument("--workers", type=_positive_int, default=16,
+                        metavar="N",
+                        help="probe fleet size (default 16, the paper's)")
+    p_scan.add_argument("--qps", type=_positive_float, default=None,
+                        metavar="Q",
+                        help="per-authority probe cap in queries per "
+                             "simulated second (default: unthrottled)")
+    p_scan.add_argument("--budget", type=_positive_int, default=None,
+                        metavar="N",
+                        help="hard cap on probes sent across the run "
+                             "(default: unlimited)")
+    p_scan.add_argument("--store", metavar="PATH",
+                        help="write every probe outcome to a columnar "
+                             "JSON store at PATH")
+    p_scan.add_argument("--interval", default="10m", metavar="DURATION",
+                        help="probe grid interval (default 10m)")
+    p_scan.add_argument("--duration", default="48h", metavar="DURATION",
+                        help="per-domain monitoring window (default 48h)")
+    p_scan.add_argument("--jitter", type=int, default=0, metavar="SECONDS",
+                        help="max per-domain grid offset (default 0)")
+    p_scan.add_argument("--nxdomain-streak", type=_positive_int,
+                        default=None, metavar="K",
+                        help="terminate never-resolved domains after K "
+                             "consecutive NXDOMAIN instants "
+                             "(default: keep probing)")
+    p_scan.set_defaults(func=cmd_scan)
     return parser
 
 
@@ -219,8 +324,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except (ReproError, OSError) as exc:
-        # Bad user input (filter specs, paths, config) gets one clean
-        # line, not a traceback.
+        # The uniform user-error contract shared by every subcommand:
+        # bad input (filter specs, durations, paths, config values)
+        # gets one clean line and exit code 2, never a traceback —
+        # matching argparse's own behaviour for flag-level errors.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -5,7 +5,7 @@ every 10 minutes for its first 48 hours, from 16 workers behind caching
 resolvers capped at 60 s, with NS liveness asked *directly* of the TLD
 authority (§3 step 3).
 
-Two interchangeable execution strategies implement that specification:
+Three interchangeable execution strategies implement that specification:
 
 * :class:`LoopMonitor` replays the literal probe loop through
   :class:`~repro.dnscore.resolver.ResolverPool` — faithful, and used by
@@ -13,11 +13,15 @@ Two interchangeable execution strategies implement that specification:
 * :class:`AnalyticMonitor` computes what that loop *would have
   observed* by intersecting the authoritative record timelines with the
   probe grid — O(timeline segments) per domain instead of O(288 probes
-  × 3 qtypes), which is what makes 100 k-domain scenarios tractable.
+  × 3 qtypes), which is what makes 100 k-domain scenarios tractable;
+* :class:`~repro.scan.engine.ScanEngine` (``strategy="scan"``) stays
+  measurement-driven like the loop but merges every domain's grid into
+  one scheduled, rate-limited, dedup'd bulk scan — the default at
+  scale when real probes (not analytic sampling) are wanted.
 
-A property-based test asserts the two produce identical
-:class:`~repro.core.records.MonitorReport` objects; the ablation bench
-measures the speedup.
+Property-based tests assert all strategies produce identical
+:class:`~repro.core.records.MonitorReport` objects; the ablation and
+scan benches measure the speedups.
 """
 
 from __future__ import annotations
@@ -26,10 +30,9 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.records import MonitorReport
-from repro.dnscore.authserver import HostingAuthority
 from repro.dnscore.message import Query, RCode
+from repro.errors import ConfigError
 from repro.dnscore.records import RRType
-from repro.dnscore.resolver import ResolverPool
 from repro.registry.lifecycle import DomainLifecycle
 from repro.registry.registry import RegistryGroup
 from repro.simtime.clock import DAY, HOUR, MINUTE
@@ -140,31 +143,10 @@ class LoopMonitor:
                  config: MonitorConfig = MonitorConfig()) -> None:
         self.registries = registries
         self.config = config
-        self.pool = ResolverPool(size=config.workers,
-                                 max_cache_ttl=config.resolver_cache_ttl)
-        for registry in registries:
-            self.pool.register_tld_authority(registry.tld,
-                                             registry.authority())
-        self.pool.set_hosting_authority(HostingAuthority(
-            record_oracle=self._hosting_records,
-            lameness_oracle=self._is_lame))
-
-    # -- hosting-side oracles ----------------------------------------------------
-
-    def _hosting_records(self, domain: str, qtype: RRType,
-                         ts: int) -> Optional[Tuple[str, ...]]:
-        lifecycle = self.registries.find_lifecycle(domain)
-        if lifecycle is None:
-            return None
-        family = 4 if qtype is RRType.A else 6
-        if qtype not in (RRType.A, RRType.AAAA):
-            ns = lifecycle.nameservers_at(ts)
-            return tuple(sorted(ns)) if ns else None
-        return lifecycle.addresses_at(ts, family)
-
-    def _is_lame(self, domain: str, ts: int) -> bool:
-        lifecycle = self.registries.find_lifecycle(domain)
-        return lifecycle is not None and lifecycle.lame
+        # The wiring (TLD authorities + hosting oracles) is shared with
+        # the scan engine via RegistryGroup.resolver_pool.
+        self.pool = registries.resolver_pool(
+            size=config.workers, max_cache_ttl=config.resolver_cache_ttl)
 
     # -- the probe loop --------------------------------------------------------------
 
@@ -207,10 +189,23 @@ class LoopMonitor:
 
 def make_monitor(registries: RegistryGroup,
                  config: MonitorConfig = MonitorConfig(),
-                 strategy: str = "analytic"):
-    """Factory for the configured execution strategy."""
+                 strategy: str = "analytic",
+                 scan=None):
+    """Factory for the configured execution strategy.
+
+    ``strategy="scan"`` builds a :class:`~repro.scan.engine.ScanEngine`
+    (the bulk measurement path); ``scan`` optionally supplies a full
+    :class:`~repro.scan.engine.ScanConfig` — otherwise one is derived
+    from the paper parameters in ``config``.
+    """
     if strategy == "analytic":
         return AnalyticMonitor(registries, config)
     if strategy == "loop":
         return LoopMonitor(registries, config)
-    raise ValueError(f"unknown monitor strategy: {strategy!r}")
+    if strategy == "scan":
+        # Imported lazily: repro.scan depends on repro.core.records.
+        from repro.scan.engine import ScanConfig, ScanEngine
+        scan_config = scan if scan is not None else ScanConfig.from_monitor(config)
+        return ScanEngine(registries, scan_config)
+    raise ConfigError(f"unknown monitor strategy: {strategy!r} "
+                      "(expected analytic, loop, or scan)")

@@ -39,8 +39,13 @@ class PipelineConfig:
     rdap: RDAPCollectorConfig = field(default_factory=RDAPCollectorConfig)
     monitor: MonitorConfig = field(default_factory=MonitorConfig)
     validator: ValidatorConfig = field(default_factory=ValidatorConfig)
-    #: "analytic" (timeline sampling) or "loop" (literal probe loop).
+    #: "analytic" (timeline sampling), "loop" (literal probe loop), or
+    #: "scan" (bulk measurement engine — the default at scale when real
+    #: probes rather than analytic sampling are wanted).
     monitor_strategy: str = "analytic"
+    #: Scan-engine overrides when ``monitor_strategy == "scan"`` (a
+    #: :class:`repro.scan.ScanConfig`; None derives one from ``monitor``).
+    scan: Optional[object] = None
     #: Monitor every candidate (True) or skip monitoring (False) — the
     #: RZU cadence ablation does not need probes and saves the work.
     run_monitor: bool = True
@@ -65,6 +70,9 @@ class DarkDNSPipeline:
         self.config = config if config is not None else PipelineConfig()
         self.feed = PublicFeed()
         self.serve = serve
+        #: The step-3 monitor instance of the last run (exposes engine
+        #: metrics when the strategy is "scan").
+        self.monitor = None
 
     def run(self) -> PipelineResult:
         world = self.world
@@ -97,12 +105,21 @@ class DarkDNSPipeline:
         monitors = {}
         if config.run_monitor:
             monitor = make_monitor(world.registries, config.monitor,
-                                   strategy=config.monitor_strategy)
-            for domain, candidate in candidates.items():
-                report = monitor.observe(domain, candidate.ct_seen_at)
-                monitors[domain] = report
+                                   strategy=config.monitor_strategy,
+                                   scan=config.scan)
+            self.monitor = monitor
+            if hasattr(monitor, "observe_all"):
+                # Bulk strategies (the scan engine) interleave every
+                # domain's probe grid through one shared queue.
+                monitors = monitor.observe_all(
+                    {d: c.ct_seen_at for d, c in candidates.items()})
+            else:
+                for domain, candidate in candidates.items():
+                    monitors[domain] = monitor.observe(domain,
+                                                       candidate.ct_seen_at)
+            for domain, report in monitors.items():
                 world.broker.produce(TOPIC_OBSERVATIONS, domain, report,
-                                     candidate.ct_seen_at)
+                                     candidates[domain].ct_seen_at)
 
         # Step 4 — validation.
         validator = Validator(config.validator)

@@ -44,12 +44,21 @@ class TLDAuthority:
     def __init__(self, tld: str,
                  delegation_oracle: Callable[[str, int], Optional[Iterable[str]]],
                  serial_oracle: Optional[Callable[[int], int]] = None,
-                 ns_ttl: int = 3600) -> None:
+                 ns_ttl: int = 3600,
+                 delegation_window_oracle: Optional[Callable] = None) -> None:
         self.tld = dnsname.normalize(tld)
         self._oracle = delegation_oracle
         self._serial_oracle = serial_oracle
         self.ns_ttl = ns_ttl
         self.queries_served = 0
+        #: ``(domain, ts) -> (delegation, valid-until)`` when the zone
+        #: backend can bound an answer's validity (registries can: the
+        #: lifecycle timelines know their own change points).  Enables
+        #: the :meth:`ns_liveness` serve-from-window fast path.
+        self._window_oracle = delegation_window_oracle
+        #: qname -> [registrable, delegation value, response, valid_until];
+        #: the unchanged-answer dedup behind :meth:`ns_liveness`.
+        self._ns_memo: dict = {}
 
     def lookup(self, query: Query, ts: int) -> Response:
         self.queries_served += 1
@@ -79,6 +88,58 @@ class TLDAuthority:
             for host in sorted(hosts))
         return Response(query=query, rcode=RCode.NOERROR, records=records,
                         authoritative=False, served_at=ts)
+
+    def ns_liveness(self, query: Query, ts: int) -> Response:
+        """NS answer with unchanged-answer dedup — the bulk-scan path.
+
+        Identical rcode/records to :meth:`lookup`, but a probe grid
+        re-asking the same question hundreds of times does not pay a
+        zone lookup plus record construction for hundreds of identical
+        answers:
+
+        * with a window oracle, the backend reports how long the answer
+          stays valid, and probes inside that window are served from
+          the memo with one dict lookup — the authority is allowed to
+          know its own zone's stability;
+        * otherwise the delegation oracle runs every probe and only the
+          wire response is reused while its value is unchanged.
+
+        Nothing about *what is observed* changes.  A reused response
+        carries the ``served_at`` of its first construction, which is
+        why callers that need per-probe timestamps track them
+        engine-side.
+        """
+        self.queries_served += 1
+        qname = query.qname
+        memo = self._ns_memo.get(qname)
+        if memo is None:
+            if dnsname.tld_of(qname) != self.tld:
+                return Response(query=query, rcode=RCode.REFUSED, served_at=ts)
+            registrable = ".".join(dnsname.labels(qname)[-2:])
+            memo = [registrable, self, None, ts]  # self: matches nothing
+            self._ns_memo[qname] = memo
+        elif memo[3] is None or ts < memo[3]:
+            return memo[2]
+        if self._window_oracle is not None:
+            hosts, valid_until = self._window_oracle(memo[0], ts)
+        else:
+            # No validity bound: re-ask the zone, reuse the response
+            # while the answer is unchanged.
+            hosts, valid_until = self._oracle(memo[0], ts), ts
+            if hosts == memo[1]:
+                memo[3] = ts + 1
+                return memo[2]
+        if hosts is None:
+            response = nxdomain(query, served_at=ts)
+        else:
+            records = tuple(
+                ResourceRecord(memo[0], RRType.NS, host, self.ns_ttl)
+                for host in sorted(hosts))
+            response = noerror(query, records, served_at=ts)
+        memo[1] = hosts
+        memo[2] = response
+        memo[3] = valid_until
+        return response
 
 
 class HostingAuthority:

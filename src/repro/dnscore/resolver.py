@@ -46,6 +46,25 @@ class ResolverStats:
         elif response.rcode is RCode.NXDOMAIN:
             self.nxdomains += 1
 
+    def merge(self, other: "ResolverStats") -> "ResolverStats":
+        """Accumulate another worker's counters into this snapshot."""
+        self.queries += other.queries
+        self.cache_hits += other.cache_hits
+        self.upstream_queries += other.upstream_queries
+        self.servfails += other.servfails
+        self.nxdomains += other.nxdomains
+        return self
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-ready view (what metrics endpoints publish)."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "upstream_queries": self.upstream_queries,
+            "servfails": self.servfails,
+            "nxdomains": self.nxdomains,
+        }
+
 
 class CachingResolver:
     """A caching resolver with per-TLD authority routing.
@@ -158,9 +177,24 @@ class ResolverPool:
         for resolver in self.resolvers:
             resolver.set_hosting_authority(backend)
 
-    def resolver_for(self, domain: str) -> CachingResolver:
+    def worker_index_for(self, domain: str) -> int:
         from repro.simtime.rng import stable_bucket
-        return self.resolvers[stable_bucket(domain, len(self.resolvers), "worker")]
+        return stable_bucket(domain, len(self.resolvers), "worker")
+
+    def resolver_for(self, domain: str) -> CachingResolver:
+        return self.resolvers[self.worker_index_for(domain)]
+
+    def aggregate_stats(self) -> ResolverStats:
+        """One :class:`ResolverStats` merged across every worker.
+
+        Per-instance counters still live on each resolver; this is the
+        fleet-level view operators (and the scan engine's metrics
+        snapshot) actually want.
+        """
+        total = ResolverStats()
+        for resolver in self.resolvers:
+            total.merge(resolver.stats)
+        return total
 
     def total_queries(self) -> int:
-        return sum(r.stats.queries for r in self.resolvers)
+        return self.aggregate_stats().queries

@@ -135,3 +135,11 @@ class UnknownClientError(ServeError):
 
 class EvictedClientError(ServeError):
     """The client was evicted as a slow consumer and must resubscribe."""
+
+
+# --------------------------------------------------------------------------
+# Bulk scanning
+# --------------------------------------------------------------------------
+
+class ScanError(ReproError):
+    """Base class for bulk-measurement (``repro.scan``) errors."""

@@ -138,6 +138,27 @@ class DomainLifecycle:
             return None
         return self.ns_timeline.at(ts)
 
+    def nameservers_window_at(self, ts: int):
+        """``(published NS set, valid-until)`` at ``ts``.
+
+        The second element is the first instant the answer could
+        differ, or None when it holds forever — the zone-side validity
+        window that lets an authority serve a probe grid's repeated
+        question without a timeline walk per probe.  Change points are
+        the zone add, every NS change, and the zone removal.
+        """
+        added, removed = self.zone_added_at, self.zone_removed_at
+        if added is None:
+            return None, None
+        if ts < added:
+            return None, added
+        if removed is not None and ts >= removed:
+            return None, None
+        value, nxt = self.ns_timeline.at_with_next(ts)
+        if removed is not None and (nxt is None or removed < nxt):
+            nxt = removed
+        return value, nxt
+
     def addresses_at(self, ts: int, family: int = 4) -> Optional[Tuple[str, ...]]:
         """A/AAAA rdata at ``ts``; None when unresolvable.
 

@@ -18,7 +18,9 @@ from bisect import insort
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.dnscore import name as dnsname
-from repro.dnscore.authserver import TLDAuthority
+from repro.dnscore.authserver import HostingAuthority, TLDAuthority
+from repro.dnscore.records import RRType
+from repro.dnscore.resolver import ResolverPool
 from repro.dnscore.zone import Delegation, ZoneVersion
 from repro.errors import RegistrationError, UnknownDomainError
 from repro.registry.lifecycle import DomainLifecycle, RemovalReason
@@ -166,6 +168,17 @@ class Registry:
             return None
         return lifecycle.nameservers_at(ts)
 
+    def delegation_window_at(self, domain: str, ts: int):
+        """``(delegation at ts, valid-until)`` — see
+        :meth:`DomainLifecycle.nameservers_window_at`.  Valid only while
+        the registry is no longer mutating (the world is fully
+        materialized before measurement starts), which is when the
+        authorities built from it are used."""
+        lifecycle = self._lifecycles.get(dnsname.normalize(domain))
+        if lifecycle is None:
+            return None, None
+        return lifecycle.nameservers_window_at(ts)
+
     def delegated_domains_at(self, ts: int) -> Set[str]:
         """All domains present in the zone at ``ts`` (a snapshot's contents)."""
         return {lc.domain for lc in self._lifecycles.values() if lc.in_zone_at(ts)}
@@ -193,7 +206,8 @@ class Registry:
 
     def authority(self) -> TLDAuthority:
         """An authoritative server view over this registry."""
-        return TLDAuthority(self.tld, self.delegation_at, self.serial_at)
+        return TLDAuthority(self.tld, self.delegation_at, self.serial_at,
+                            delegation_window_oracle=self.delegation_window_at)
 
     # -- registry ground truth (the §4.4 "registry view") -------------------------
 
@@ -252,3 +266,42 @@ class RegistryGroup:
 
     def total_registrations(self) -> int:
         return sum(len(r) for r in self._registries.values())
+
+    # -- measurement-side views ---------------------------------------------------
+
+    def hosting_authority(self) -> HostingAuthority:
+        """The domain-side nameserver view over every lifecycle here.
+
+        A/AAAA answers come from the lifecycles' address timelines; NS
+        from the published NS set; lame delegations time out — exactly
+        the oracles the monitor's hosting path needs.
+        """
+        def records(domain: str, qtype: RRType, ts: int):
+            lifecycle = self.find_lifecycle(domain)
+            if lifecycle is None:
+                return None
+            if qtype not in (RRType.A, RRType.AAAA):
+                ns = lifecycle.nameservers_at(ts)
+                return tuple(sorted(ns)) if ns else None
+            return lifecycle.addresses_at(ts, 4 if qtype is RRType.A else 6)
+
+        def is_lame(domain: str, ts: int) -> bool:
+            lifecycle = self.find_lifecycle(domain)
+            return lifecycle is not None and lifecycle.lame
+
+        return HostingAuthority(record_oracle=records,
+                                lameness_oracle=is_lame)
+
+    def resolver_pool(self, size: int = 16,
+                      max_cache_ttl: int = 60) -> ResolverPool:
+        """A fully wired measurement fleet over these registries.
+
+        Every resolver routes NS/SOA to the per-TLD authorities and
+        A/AAAA through the shared hosting authority — the wiring both
+        the literal probe loop and the bulk scan engine share.
+        """
+        pool = ResolverPool(size=size, max_cache_ttl=max_cache_ttl)
+        for registry in self:
+            pool.register_tld_authority(registry.tld, registry.authority())
+        pool.set_hosting_authority(self.hosting_authority())
+        return pool

@@ -70,6 +70,18 @@ class Timeline(Generic[V]):
             return self._initial
         return self._values[idx - 1]
 
+    def at_with_next(self, ts: int) -> Tuple[Optional[V], Optional[int]]:
+        """``(value at ts, time of the next change)`` in one lookup.
+
+        The second element is None when the value holds forever — the
+        seam that lets answer caches know exactly how long an answer
+        stays valid instead of re-asking every probe.
+        """
+        idx = bisect_right(self._times, ts)
+        value = self._initial if idx == 0 else self._values[idx - 1]
+        nxt = self._times[idx] if idx < len(self._times) else None
+        return value, nxt
+
     def changes(self) -> Iterator[Tuple[int, V]]:
         """Iterate ``(ts, value)`` change points in time order."""
         return iter(zip(self._times, self._values))

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.monitor import AnalyticMonitor, LoopMonitor, MonitorConfig, make_monitor
+from repro.errors import ConfigError
 from repro.registry.policy import gtld
 from repro.registry.registry import Registry, RegistryGroup
 from repro.simtime.clock import DAY, HOUR, MINUTE
@@ -111,7 +112,9 @@ class TestLoopMonitor:
         assert isinstance(make_monitor(group, strategy="analytic"),
                           AnalyticMonitor)
         assert isinstance(make_monitor(group, strategy="loop"), LoopMonitor)
-        with pytest.raises(ValueError):
+        from repro.scan import ScanEngine
+        assert isinstance(make_monitor(group, strategy="scan"), ScanEngine)
+        with pytest.raises(ConfigError):
             make_monitor(group, strategy="quantum")
 
 
