@@ -1,0 +1,174 @@
+"""World-generation throughput: the paper-scale fast path.
+
+Times :func:`~repro.workload.scenario.build_world` at a configurable
+scale and reports **registrations/sec**, wall seconds, peak RSS, and the
+:func:`~repro.workload.scenario.world_fingerprint` digest — the proof
+that the fast path did not perturb a single sampled value.  Optionally
+(``--pipeline``) runs the five-step pipeline over the freshly built
+world so the end-to-end latency of "construct the paper's world and
+measure it" is one number.
+
+Run standalone for the JSON report (also written to
+``benchmarks/BENCH_worldgen.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_world.py                 # 1/500
+    PYTHONPATH=src python benchmarks/bench_world.py --inv-scale 200
+    PYTHONPATH=src python benchmarks/bench_world.py --inv-scale 1 --pipeline
+
+``--check-baseline`` compares the measured build time against the
+committed ``BENCH_worldgen.json`` and exits non-zero on a >2x
+regression (the CI bench-smoke job runs this; the tolerance is
+documented in ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+from repro.workload.scenario import (
+    ScenarioConfig,
+    build_world,
+    world_fingerprint,
+)
+
+#: Default measurement point: the scale the seed implementation was
+#: profiled at (≈34 k registrations).
+INV_SCALE = 500
+SEED = 7
+
+#: Wall seconds the *seed* implementation (PR 2 tip, commit 937ea33)
+#: needs at the default measurement point on the reference machine
+#: (median of 5 warm builds) — the denominator of the reported speedup.
+SEED_BASELINE = {"inv_scale": 500, "seed": 7, "build_sec": 2.317,
+                 "include_cctld": False}
+
+
+def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
+              include_cctld: bool = False, pipeline: bool = False,
+              fingerprint: bool = True, rounds: int = 1) -> dict:
+    config = ScenarioConfig(seed=seed, scale=1.0 / inv_scale,
+                            include_cctld=include_cctld)
+    build_sec = None
+    for _ in range(max(1, rounds)):
+        start = time.perf_counter()
+        world = build_world(config)
+        elapsed = time.perf_counter() - start
+        build_sec = elapsed if build_sec is None else min(build_sec, elapsed)
+    regs = world.registries.total_registrations()
+    report = {
+        "inv_scale": inv_scale,
+        "seed": seed,
+        "include_cctld": include_cctld,
+        "registrations": regs,
+        "certstream_events": world.certstream.event_count(),
+        "build_sec": round(build_sec, 4),
+        "registrations_per_sec": round(regs / build_sec, 1),
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
+    }
+    if (SEED_BASELINE["inv_scale"] == inv_scale
+            and SEED_BASELINE["seed"] == seed
+            and SEED_BASELINE["include_cctld"] == include_cctld):
+        report["seed_build_sec"] = SEED_BASELINE["build_sec"]
+        report["speedup_vs_seed"] = round(
+            SEED_BASELINE["build_sec"] / build_sec, 2)
+    if fingerprint:
+        start = time.perf_counter()
+        report["fingerprint"] = world_fingerprint(world)
+        report["fingerprint_sec"] = round(time.perf_counter() - start, 4)
+    if pipeline:
+        from repro.core.pipeline import run_pipeline
+        from repro.workload.scenario import _gc_paused
+        start = time.perf_counter()
+        # The same GC pause build_world uses: at paper scale the heap
+        # holds tens of millions of live objects and cyclic collections
+        # during the measurement run only re-scan them.
+        with _gc_paused():
+            result = run_pipeline(world)
+        report["pipeline_sec"] = round(time.perf_counter() - start, 4)
+        report["candidates"] = len(result.candidates)
+        report["confirmed_transients"] = len(result.confirmed_transients)
+        report["peak_rss_mb"] = round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1)
+    return report
+
+
+def test_world_build_throughput(bench_baseline):
+    # Pytest entry: measure at the default point and refresh the
+    # committed baseline (the fingerprint pins value preservation).
+    report = run_build()
+    print()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    assert report["registrations"] > 10_000
+    bench_baseline("worldgen", report)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--inv-scale", type=int, default=INV_SCALE,
+                        help="1/scale denominator (500 -> scale=1/500; "
+                             "1 -> the paper's full volumes)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--cctld", action="store_true",
+                        help="include the ccTLD ground-truth population")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="also run the five-step pipeline on the world")
+    parser.add_argument("--no-fingerprint", action="store_true",
+                        help="skip the world fingerprint (it costs one "
+                             "pass over every lifecycle)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="print the report without writing "
+                             "BENCH_worldgen.json")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="compare against the committed baseline and "
+                             "exit 1 on a >2x build-time regression")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="build repeats, best-of-N timing (default 1; "
+                             "3 under --check-baseline so noisy runners "
+                             "time a warm build)")
+    args = parser.parse_args()
+    rounds = args.rounds if args.rounds else (3 if args.check_baseline else 1)
+    report = run_build(inv_scale=args.inv_scale, seed=args.seed,
+                       include_cctld=args.cctld, pipeline=args.pipeline,
+                       fingerprint=not args.no_fingerprint, rounds=rounds)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.check_baseline:
+        # Imported lazily: conftest pulls in pytest only when present.
+        from conftest import BASELINE_DIR, check_against_baseline
+        problems = check_against_baseline(
+            "worldgen", report, lower_is_better=("build_sec",),
+            scale_keys=("inv_scale", "seed", "include_cctld"))
+        committed_path = BASELINE_DIR / "BENCH_worldgen.json"
+        same_point = False
+        if committed_path.exists():
+            committed = json.loads(committed_path.read_text())
+            same_point = all(committed.get(k) == report.get(k)
+                             for k in ("inv_scale", "seed", "include_cctld"))
+            want = committed.get("fingerprint")
+            if (want and same_point and "fingerprint" in report
+                    and want != report["fingerprint"]):
+                problems.append(
+                    f"world fingerprint changed: {report['fingerprint']} "
+                    f"vs committed {want} — sampling was perturbed")
+        if problems:
+            print("\n".join(problems), file=sys.stderr)
+            raise SystemExit(1)
+        if committed_path.exists() and not same_point:
+            print("baseline comparison skipped: measurement point differs "
+                  "from committed BENCH_worldgen.json")
+        else:
+            print("baseline check ok")
+    elif (not args.no_baseline and args.inv_scale == INV_SCALE
+          and args.seed == SEED and not args.cctld):
+        # Only the canonical measurement point may refresh the committed
+        # baseline — the same point the CI check gates on.
+        from conftest import write_baseline  # benchmarks/ on sys.path
+        write_baseline("worldgen", report)
+
+
+if __name__ == "__main__":
+    main()

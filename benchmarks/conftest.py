@@ -3,25 +3,47 @@
 The bench world runs at 1/200 of the paper's volumes (≈87 k
 registrations, ≈69 k CT-observed certificates) with the ccTLD
 ground-truth population at full paper scale, so §4.4b compares absolute
-counts.  Building it costs ~10 s once per benchmark session.
+counts.
+
+This module is also imported *standalone* (no pytest installed) by the
+bench CLIs for the baseline helpers, so the pytest dependency is
+optional.
+
+## Perf-baseline regression policy
+
+``BENCH_<name>.json`` files committed next to the benches are the perf
+trajectory: one machine-readable data point per harness per PR.
+``check_against_baseline`` fails a run when a lower-is-better metric
+(wall seconds, lag) exceeds the committed value by more than
+``REGRESSION_TOLERANCE`` (2x).  The tolerance is deliberately loose:
+baselines are recorded on whatever machine produced the PR, CI runners
+are slower and noisy, and the check exists to catch *algorithmic*
+regressions (an accidental O(n^2), a dropped cache), not scheduler
+jitter.  Comparisons are skipped entirely when the measurement point
+(scale, seed, config) differs from the committed one.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterable, List
 
-import pytest
+try:
+    import pytest
+except ImportError:  # standalone bench CLI usage
+    pytest = None
 
-from repro.core.pipeline import run_pipeline
-from repro.workload.scenario import ScenarioConfig, build_world
+#: Committed perf baselines live next to the benches that produce them.
+BASELINE_DIR = Path(__file__).resolve().parent
+
+#: Fail when a lower-is-better metric regresses by more than this factor
+#: against the committed baseline (see module docstring).
+REGRESSION_TOLERANCE = 2.0
 
 #: 1/200 of the paper's population (Table 1: 16.3 M zone NRDs).
 BENCH_SCALE = 1 / 200
 BENCH_SEED = 7
-
-#: Committed perf baselines live next to the benches that produce them.
-BASELINE_DIR = Path(__file__).resolve().parent
 
 
 def write_baseline(name: str, payload: dict) -> Path:
@@ -35,22 +57,57 @@ def write_baseline(name: str, payload: dict) -> Path:
     return path
 
 
-@pytest.fixture
-def bench_baseline():
-    """The baseline writer as a fixture, for benches run under pytest."""
-    return write_baseline
+def check_against_baseline(name: str, report: dict,
+                           lower_is_better: Iterable[str] = (),
+                           scale_keys: Iterable[str] = (),
+                           tolerance: float = REGRESSION_TOLERANCE,
+                           ) -> List[str]:
+    """Compare a fresh report against the committed ``BENCH_<name>.json``.
+
+    Returns a list of human-readable problems (empty = no regression).
+    ``scale_keys`` name the fields that define the measurement point;
+    when they differ from the committed baseline the comparison is
+    skipped (different scale, different machine class — not comparable).
+    """
+    path = BASELINE_DIR / f"BENCH_{name}.json"
+    if not path.exists():
+        return [f"no committed baseline {path.name}"]
+    committed = json.loads(path.read_text())
+    for key in scale_keys:
+        if committed.get(key) != report.get(key):
+            return []
+    problems: List[str] = []
+    for metric in lower_is_better:
+        old = committed.get(metric)
+        new = report.get(metric)
+        if old is None or new is None:
+            continue
+        if new > old * tolerance:
+            problems.append(
+                f"BENCH_{name}.{metric} regressed: {new} vs committed "
+                f"{old} (tolerance {tolerance}x)")
+    return problems
 
 
-@pytest.fixture(scope="session")
-def world():
-    return build_world(ScenarioConfig(
-        seed=BENCH_SEED, scale=BENCH_SCALE,
-        include_cctld=True, cctld_scale=1.0))
+if pytest is not None:
 
+    from repro.core.pipeline import run_pipeline
+    from repro.workload.scenario import ScenarioConfig, build_world
 
-@pytest.fixture(scope="session")
-def result(world):
-    return run_pipeline(world)
+    @pytest.fixture
+    def bench_baseline():
+        """The baseline writer as a fixture, for benches run under pytest."""
+        return write_baseline
+
+    @pytest.fixture(scope="session")
+    def world():
+        return build_world(ScenarioConfig(
+            seed=BENCH_SEED, scale=BENCH_SCALE,
+            include_cctld=True, cctld_scale=1.0))
+
+    @pytest.fixture(scope="session")
+    def result(world):
+        return run_pipeline(world)
 
 
 def check_report(report, min_ok_fraction: float = 0.8) -> None:

@@ -12,7 +12,8 @@ committing per-partition offsets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from heapq import merge as _heap_merge
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import BusError, OffsetError, UnknownTopicError
 from repro.simtime.rng import stable_bucket
@@ -37,17 +38,24 @@ class Partition:
         self.topic = topic
         self.index = index
         self._log: List[Message] = []
+        #: Producer clocks may run out of order; track whether this log
+        #: happens to be time-ordered so readers can skip re-sorting.
+        self._time_ordered = True
 
     def append(self, key: str, value: Any, timestamp: int) -> Message:
-        if self._log and timestamp < self._log[-1].timestamp:
-            # Brokers accept out-of-order producer clocks; keep log order
-            # by offset but preserve the producer timestamp as-is.
-            pass
+        log = self._log
+        if self._time_ordered and log and timestamp < log[-1].timestamp:
+            self._time_ordered = False
         message = Message(topic=self.topic, partition=self.index,
-                          offset=len(self._log), timestamp=timestamp,
+                          offset=len(log), timestamp=timestamp,
                           key=key, value=value)
-        self._log.append(message)
+        log.append(message)
         return message
+
+    @property
+    def time_ordered(self) -> bool:
+        """True while appended timestamps have been non-decreasing."""
+        return self._time_ordered
 
     def read(self, offset: int, max_messages: int) -> List[Message]:
         if offset < 0:
@@ -77,14 +85,40 @@ class Topic:
     def append(self, key: str, value: Any, timestamp: int) -> Message:
         return self.partition_for(key).append(key, value, timestamp)
 
+    def append_many(self, items: Iterable[Tuple[str, Any, int]]) -> int:
+        """Batched produce: route and append ``(key, value, timestamp)``
+        triples in one pass, preserving the iteration order per
+        partition (exactly what repeated :meth:`append` calls yield,
+        without a routing-dict lookup and method dispatch per message).
+        """
+        partitions = self.partitions
+        n = len(partitions)
+        name = self.name
+        count = 0
+        for key, value, timestamp in items:
+            partitions[stable_bucket(key, n, name)].append(key, value, timestamp)
+            count += 1
+        return count
+
     def total_messages(self) -> int:
         return sum(len(p) for p in self.partitions)
 
     def all_messages(self) -> List[Message]:
-        """All messages across partitions, ordered by (timestamp, part, off)."""
+        """All messages across partitions, ordered by (timestamp, part, off).
+
+        When every partition log is already time-ordered (the common
+        case — pipeline stages produce in event order), an O(n) k-way
+        merge replaces the full concatenate-and-sort.
+        """
+        logs = [p.read(0, p.end_offset) for p in self.partitions]
+        if all(p.time_ordered for p in self.partitions):
+            if len(logs) == 1:
+                return logs[0]
+            return list(_heap_merge(
+                *logs, key=lambda m: (m.timestamp, m.partition, m.offset)))
         out: List[Message] = []
-        for partition in self.partitions:
-            out.extend(partition.read(0, partition.end_offset))
+        for log in logs:
+            out.extend(log)
         out.sort(key=lambda m: (m.timestamp, m.partition, m.offset))
         return out
 
@@ -125,6 +159,16 @@ class Broker:
 
     def produce(self, topic: str, key: str, value: Any, timestamp: int) -> Message:
         return self.ensure_topic(topic).append(key, value, timestamp)
+
+    def produce_many(self, topic: str,
+                     items: Iterable[Tuple[str, Any, int]]) -> int:
+        """Batched :meth:`produce`; returns the number of messages appended.
+
+        One topic lookup for the whole batch — the shape the pipeline's
+        per-step fan-in wants (publish all candidates / observations of
+        a run in one call).
+        """
+        return self.ensure_topic(topic).append_many(items)
 
     def committed(self, group: str, topic: str, partition: int) -> int:
         return self._commits.get((group, topic, partition), 0)

@@ -53,31 +53,30 @@ class CTDetector:
 
     def process_event(self, event: CertstreamEvent) -> List[Candidate]:
         """Extract zero or more *new* candidates from one feed message."""
-        self.stats.events += 1
+        stats = self.stats
+        stats.events += 1
         out: List[Candidate] = []
         registrables: List[str] = []
+        registrable_or_none = self.psl.registrable_or_none
         for raw in event.all_names_raw:
-            self.stats.names_seen += 1
-            registrable = self.psl.registrable_or_none(raw)
+            stats.names_seen += 1
+            registrable = registrable_or_none(raw)
             if registrable is None:
-                self.stats.psl_failures += 1
+                stats.psl_failures += 1
                 continue
             registrables.append(registrable)
         for domain in dict.fromkeys(registrables):
-            try:
-                tld = dnsname.tld_of(domain)
-            except Exception:
-                self.stats.psl_failures += 1
-                continue
+            # Registrable names are canonical: the TLD is the last label.
+            tld = domain.rsplit(".", 1)[-1]
             if tld not in self.known_tlds:
-                self.stats.unknown_tld += 1
+                stats.unknown_tld += 1
                 continue
             if domain in self._seen:
-                self.stats.duplicates += 1
+                stats.duplicates += 1
                 continue
             if self.archive.covers(tld) and self.archive.in_latest_published(
                     domain, event.seen_at):
-                self.stats.filtered_in_zone += 1
+                stats.filtered_in_zone += 1
                 self._seen.add(domain)  # known-registered; skip future certs
                 continue
             candidate = Candidate(
@@ -87,7 +86,7 @@ class CTDetector:
                 log_id=event.log_id,
                 reused_validation=event.certificate.reused_validation)
             self._seen.add(domain)
-            self.stats.candidates += 1
+            stats.candidates += 1
             out.append(candidate)
             if self.broker is not None:
                 self.broker.produce(TOPIC_CANDIDATES, domain, candidate,

@@ -88,10 +88,9 @@ class DarkDNSPipeline:
         candidates = detector.run(world.certstream, window.start, window.end)
 
         # Public feed (contribution 2).
-        for candidate in candidates.values():
-            record = self.feed.publish(candidate)
-            world.broker.produce(TOPIC_FEED, record.domain, record,
-                                 record.seen_at)
+        records = [self.feed.publish(c) for c in candidates.values()]
+        world.broker.produce_many(
+            TOPIC_FEED, ((r.domain, r, r.seen_at) for r in records))
         self.feed.finalize()
         if self.serve is not None:
             self.serve.pump()
@@ -117,9 +116,10 @@ class DarkDNSPipeline:
                 for domain, candidate in candidates.items():
                     monitors[domain] = monitor.observe(domain,
                                                        candidate.ct_seen_at)
-            for domain, report in monitors.items():
-                world.broker.produce(TOPIC_OBSERVATIONS, domain, report,
-                                     candidates[domain].ct_seen_at)
+            world.broker.produce_many(
+                TOPIC_OBSERVATIONS,
+                ((domain, report, candidates[domain].ct_seen_at)
+                 for domain, report in monitors.items()))
 
         # Step 4 — validation.
         validator = Validator(config.validator)

@@ -19,7 +19,7 @@ leans on (§3 footnote 2, §4.2):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.ct.certificate import Certificate, MAX_VALIDITY, make_precert
@@ -32,26 +32,33 @@ from repro.simtime.clock import DAY
 DV_TOKEN_VALIDITY = 398 * DAY
 
 
-@dataclass
 class DVToken:
     """A cached domain-validation result held by one CA."""
 
-    domain: str
-    validated_at: int
+    __slots__ = ("domain", "validated_at")
+
+    def __init__(self, domain: str, validated_at: int) -> None:
+        self.domain = domain
+        self.validated_at = validated_at
 
     def valid_at(self, ts: int) -> bool:
         return self.validated_at <= ts <= self.validated_at + DV_TOKEN_VALIDITY
 
 
-@dataclass(frozen=True)
 class IssuanceRecord:
     """Audit trail of one issuance (used by tests and the DV ablation)."""
 
-    certificate: Certificate
-    requested_at: int
-    issued_at: int
-    fresh_validation: bool
-    log_entries: Tuple[LogEntry, ...]
+    __slots__ = ("certificate", "requested_at", "issued_at",
+                 "fresh_validation", "log_entries")
+
+    def __init__(self, certificate: Certificate, requested_at: int,
+                 issued_at: int, fresh_validation: bool,
+                 log_entries: Tuple[LogEntry, ...]) -> None:
+        self.certificate = certificate
+        self.requested_at = requested_at
+        self.issued_at = issued_at
+        self.fresh_validation = fresh_validation
+        self.log_entries = log_entries
 
 
 class CertificateAuthority:
@@ -92,6 +99,10 @@ class CertificateAuthority:
 
     def token_for(self, domain: str) -> Optional[DVToken]:
         return self._tokens.get(domain)
+
+    def tokens(self) -> List[DVToken]:
+        """All cached DV tokens (world fingerprinting, audits)."""
+        return list(self._tokens.values())
 
     def has_valid_token(self, domain: str, ts: int) -> bool:
         token = self._tokens.get(domain)

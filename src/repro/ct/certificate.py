@@ -9,7 +9,6 @@ to appear before the certificate is used).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.dnscore import name as dnsname
@@ -22,34 +21,40 @@ from repro.simtime.clock import DAY
 MAX_VALIDITY = 398 * DAY
 
 
-@dataclass(frozen=True)
 class Certificate:
     """A (pre)certificate as seen through CT.
 
     ``is_precert`` distinguishes the precertificate (logged before
     issuance) from the final certificate; the pipeline only consumes
     precerts.
+
+    A ``__slots__`` class: CT logs at paper scale hold millions of
+    entries, so per-certificate memory and construction cost are part
+    of the world-build budget.
     """
 
-    serial: int
-    common_name: str
-    sans: Tuple[str, ...]
-    issuer: str
-    not_before: int
-    not_after: int
-    is_precert: bool = True
-    #: True when the CA skipped fresh domain validation and relied on a
-    #: cached DV token (the §4.2 cause-(iii) mechanism).
-    reused_validation: bool = False
+    __slots__ = ("serial", "common_name", "sans", "issuer", "not_before",
+                 "not_after", "is_precert", "reused_validation")
 
-    def __post_init__(self) -> None:
-        if self.not_after <= self.not_before:
+    def __init__(self, serial: int, common_name: str,
+                 sans: Tuple[str, ...], issuer: str,
+                 not_before: int, not_after: int,
+                 is_precert: bool = True,
+                 reused_validation: bool = False) -> None:
+        if not_after <= not_before:
             raise CTError("certificate expires before it begins")
-        if self.not_after - self.not_before > MAX_VALIDITY:
+        if not_after - not_before > MAX_VALIDITY:
             raise CTError("certificate exceeds 398-day maximum validity")
-        object.__setattr__(self, "common_name",
-                           dnsname.normalize(dnsname.strip_wildcard(self.common_name)))
-        object.__setattr__(self, "sans", tuple(self.sans))
+        self.serial = serial
+        self.common_name = dnsname.normalize(dnsname.strip_wildcard(common_name))
+        self.sans = tuple(sans)
+        self.issuer = issuer
+        self.not_before = not_before
+        self.not_after = not_after
+        self.is_precert = is_precert
+        #: True when the CA skipped fresh domain validation and relied on
+        #: a cached DV token (the §4.2 cause-(iii) mechanism).
+        self.reused_validation = reused_validation
 
     def dns_names(self) -> List[str]:
         """All DNS names covered: CN plus SANs, wildcards stripped,

@@ -21,13 +21,16 @@ from repro.ct.merkle import MerkleTree, verify_inclusion
 from repro.errors import CTError, MerkleError
 
 
-@dataclass(frozen=True)
 class LogEntry:
-    """One incorporated precertificate."""
+    """One incorporated precertificate (slots: millions per log at scale)."""
 
-    index: int
-    logged_at: int
-    certificate: Certificate
+    __slots__ = ("index", "logged_at", "certificate")
+
+    def __init__(self, index: int, logged_at: int,
+                 certificate: Certificate) -> None:
+        self.index = index
+        self.logged_at = logged_at
+        self.certificate = certificate
 
     @property
     def domains(self) -> List[str]:

@@ -74,14 +74,13 @@ class SnapshotArchive:
         nothing to filter against, every cert looks new.
         """
         norm = dnsname.normalize(domain)
-        tld = dnsname.tld_of(norm)
-        schedule = self._schedules.get(tld)
+        schedule = self._schedules.get(norm.rsplit(".", 1)[-1])
         if schedule is None:
             return False
         meta = schedule.latest_published(ts)
         if meta is None:
             return False
-        lifecycle = self.registries.get(tld).find(norm)
+        lifecycle = self.registries.find_lifecycle(norm)
         if lifecycle is None:
             return False
         return lifecycle.in_zone_at(meta.capture_ts)

@@ -17,6 +17,7 @@ ablation can sweep it from 24 h down to 5 min.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
@@ -55,6 +56,7 @@ class SnapshotSchedule:
         #: One pre-window snapshot establishes the diff baseline.
         self.lead_in = lead_in
         self._metas: Optional[List[SnapshotMeta]] = None
+        self._capture_times: Optional[List[int]] = None
 
     def _publication_delay(self, capture_ts: int) -> int:
         """Deterministic per-snapshot publication delay."""
@@ -86,7 +88,10 @@ class SnapshotSchedule:
         return metas
 
     def capture_times(self) -> List[int]:
-        return [m.capture_ts for m in self.metas()]
+        """Sorted capture instants (cached — hot in membership checks)."""
+        if self._capture_times is None:
+            self._capture_times = [m.capture_ts for m in self.metas()]
+        return self._capture_times
 
     def baseline(self) -> SnapshotMeta:
         return self.metas()[0]
@@ -114,7 +119,6 @@ class SnapshotSchedule:
         "Most recent" means newest capture among published files: a
         late-published old file never shadows a newer one already out.
         """
-        from bisect import bisect_right
         publish_times, best_so_far = self._publish_index()
         idx = bisect_right(publish_times, ts)
         if idx == 0:

@@ -20,6 +20,13 @@ MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 253
 
 _LABEL_RE = re.compile(r"^(?!-)[a-z0-9-]{1,63}(?<!-)$")
+#: One-shot match for names that are *already* canonical (lower-case,
+#: LDH labels, no trailing dot): the overwhelmingly common case in the
+#: generator and pipeline, handled without splitting into labels.
+_CANONICAL_RE = re.compile(
+    r"^(?=[a-z0-9.-]{1,253}$)"
+    r"(?!-)[a-z0-9-]{1,63}(?<!-)"
+    r"(?:\.(?!-)[a-z0-9-]{1,63}(?<!-))*$")
 _WILDCARD = "*"
 
 
@@ -41,6 +48,8 @@ def normalize(name: str) -> str:
     """
     if not isinstance(name, str):
         raise DomainNameError(f"domain name must be str, got {type(name).__name__}")
+    if _CANONICAL_RE.match(name):
+        return name
     text = name.strip().lower()
     if text.endswith("."):
         text = text[:-1]
@@ -81,10 +90,10 @@ def parent(name: str) -> str:
 
 def tld_of(name: str) -> str:
     """Rightmost label (``"a.b.com"`` → ``"com"``)."""
-    parts = labels(name)
-    if not parts:
+    norm = normalize(name)
+    if not norm:
         raise DomainNameError("the root has no TLD")
-    return parts[-1]
+    return norm.rsplit(".", 1)[-1]
 
 
 def is_subdomain(name: str, ancestor: str) -> bool:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dnscore import name as dnsname
-from repro.errors import PSLError
+from repro.errors import DomainNameError, PSLError
 
 #: Rules shipped with the library: every gTLD/ccTLD the scenarios use,
 #: plus structurally interesting multi-label suffixes.
@@ -78,23 +78,33 @@ class PublicSuffixList:
         Implements the PSL matching algorithm; the implicit ``*`` rule
         means an unknown TLD still yields a 1-label suffix.
         """
-        labels = tuple(reversed(dnsname.labels(name)))
+        return self._suffix_length(tuple(reversed(dnsname.labels(name))))
+
+    def _suffix_length(self, reversed_labels: Tuple[str, ...]) -> int:
+        """PSL match on pre-split labels (TLD first) — the hot entry."""
+        labels = reversed_labels
         if not labels:
             raise PSLError("the root name has no public suffix")
+        exceptions = self._exceptions
+        exact = self._exact
+        wildcards = self._wildcards
         best = 1  # implicit '*' rule
-        # Exception rules: the matched label count is the rule length - 1.
+        # One pass builds each prefix tuple once; exception rules (the
+        # matched label count is the rule length - 1) take priority, so
+        # they are checked for every depth before the longest-match
+        # result is trusted.
+        prev: Tuple[str, ...] = ()
         for depth in range(1, len(labels) + 1):
             prefix = labels[:depth]
-            if prefix in self._exceptions:
+            if prefix in exceptions:
                 return depth - 1
-        for depth in range(1, len(labels) + 1):
-            prefix = labels[:depth]
-            if prefix in self._exact and depth > best:
+            if prefix in exact and depth > best:
                 best = depth
             # A wildcard rule '*.foo' has key ('foo',) and matches
             # depth len(key)+1.
-            if depth >= 2 and prefix[:-1] in self._wildcards and depth > best:
+            if depth >= 2 and prev in wildcards and depth > best:
                 best = depth
+            prev = prefix
         return best
 
     def public_suffix(self, name: str) -> str:
@@ -118,8 +128,10 @@ class PublicSuffixList:
         treat that as a discard.
         """
         norm = dnsname.strip_wildcard(name)
-        labels = dnsname.labels(norm)
-        n = self.suffix_length(norm)
+        # norm is canonical; split once and share the labels with the
+        # suffix matcher instead of re-deriving them per step.
+        labels = norm.split(".") if norm else []
+        n = self._suffix_length(tuple(reversed(labels)))
         if len(labels) <= n:
             raise PSLError(f"{norm!r} is a public suffix; no registrable domain")
         return ".".join(labels[-(n + 1):])
@@ -128,13 +140,8 @@ class PublicSuffixList:
         """Like :meth:`registrable_domain` but returns None on failure."""
         try:
             return self.registrable_domain(name)
-        except (PSLError, Exception) as exc:  # noqa: BLE001 - name errors too
-            if isinstance(exc, PSLError):
-                return None
-            from repro.errors import DomainNameError
-            if isinstance(exc, DomainNameError):
-                return None
-            raise
+        except (PSLError, DomainNameError):
+            return None
 
     def split(self, name: str) -> Tuple[str, str]:
         """Split into (registrable domain, public suffix)."""

@@ -25,6 +25,7 @@ from repro.dnscore.cache import ResolverCache
 from repro.dnscore.message import Query, RCode, Response, servfail
 from repro.dnscore.records import RRType
 from repro.errors import DNSError
+from repro.simtime.rng import stable_bucket
 
 
 @dataclass
@@ -178,7 +179,6 @@ class ResolverPool:
             resolver.set_hosting_authority(backend)
 
     def worker_index_for(self, domain: str) -> int:
-        from repro.simtime.rng import stable_bucket
         return stable_bucket(domain, len(self.resolvers), "worker")
 
     def resolver_for(self, domain: str) -> CachingResolver:

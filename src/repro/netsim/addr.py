@@ -9,10 +9,12 @@ attribution of Table 5 can be recomputed from observed A records alone.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigError
+from repro.simtime.rng import stable_hash01
 
 
 def parse_ipv4(text: str) -> int:
@@ -33,7 +35,8 @@ def parse_ipv4(text: str) -> int:
 def format_ipv4(value: int) -> str:
     if not 0 <= value < 2 ** 32:
         raise ConfigError(f"IPv4 int out of range: {value}")
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    return (f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}"
+            f".{(value >> 8) & 0xFF}.{value & 0xFF}")
 
 
 def format_ipv6(value: int) -> str:
@@ -144,22 +147,29 @@ class AddressPool:
             raise ConfigError("pool prefixes must share a family")
         self.family = prefixes[0].family
         self.prefixes = list(prefixes)
-        self._total = sum(p.size for p in self.prefixes)
+        # Cumulative prefix sizes: hashing a key into the pool is one
+        # bisect instead of a linear walk re-reading each prefix's size.
+        self._cum_sizes: List[int] = []
+        total = 0
+        for prefix in self.prefixes:
+            total += prefix.size
+            self._cum_sizes.append(total)
+        self._total = total
 
     @classmethod
     def parse(cls, texts: List[str]) -> "AddressPool":
         return cls([Prefix.parse(t) for t in texts])
 
     def address_for(self, key: str, salt: str = "") -> str:
-        from repro.simtime.rng import stable_hash01
         offset = int(stable_hash01(key, salt or "addrpool") * self._total)
-        for prefix in self.prefixes:
-            if offset < prefix.size:
-                return prefix.format(prefix.address_at(offset))
-            offset -= prefix.size
-        # Unreachable given the modulus, but keep a defensive fallback.
-        last = self.prefixes[-1]
-        return last.format(last.address_at(last.size - 1))
+        index = bisect_right(self._cum_sizes, offset)
+        if index >= len(self.prefixes):
+            # Unreachable given the modulus, but keep a defensive fallback.
+            last = self.prefixes[-1]
+            return last.format(last.address_at(last.size - 1))
+        prefix = self.prefixes[index]
+        base = self._cum_sizes[index - 1] if index else 0
+        return prefix.format(prefix.address_at(offset - base))
 
     def __contains__(self, text: str) -> bool:
         return any(p.contains_text(text) for p in self.prefixes)

@@ -18,12 +18,24 @@ deterministically carved per provider.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.netsim.addr import AddressPool, Prefix
 from repro.netsim.asdb import ASDatabase, build_from_providers
-from repro.simtime.rng import stable_bucket, stable_hash01
+from repro.simtime.rng import WeightedSampler, stable_bucket, stable_hash01
+
+
+@lru_cache(maxsize=None)
+def _pool_for(prefixes: Tuple[str, ...]) -> AddressPool:
+    """One parsed :class:`AddressPool` per distinct prefix tuple.
+
+    Providers are immutable and few; parsing their pools once (instead
+    of on every ``address_for`` call) removes the dominant cost of
+    executing a registration plan.
+    """
+    return AddressPool.parse(list(prefixes))
 
 
 @dataclass(frozen=True)
@@ -56,7 +68,7 @@ class Provider:
         return (f"ns{base + 1}.{self.ns_sld}", f"ns{base + 2}.{self.ns_sld}")
 
     def web_pool(self) -> AddressPool:
-        return AddressPool.parse(list(self.web_prefixes))
+        return _pool_for(self.web_prefixes)
 
     def address_for(self, domain: str) -> str:
         """Deterministic A-record address for a hosted domain."""
@@ -163,15 +175,16 @@ class ProviderMix:
         total = sum(w for _, w in self.weights)
         if total <= 0:
             raise ConfigError("provider mix weights must sum to > 0")
+        # Not a dataclass field: the sampler is a derived cache, so it
+        # stays out of __eq__/__hash__ and survives the frozen contract.
+        object.__setattr__(self, "_sampler", WeightedSampler.from_pairs(self.weights))
 
     @classmethod
     def of(cls, *pairs: Tuple[Provider, float]) -> "ProviderMix":
         return cls(weights=tuple(pairs))
 
     def pick(self, rng) -> Provider:
-        providers = [p for p, _ in self.weights]
-        weights = [w for _, w in self.weights]
-        return rng.weighted_choice(providers, weights)
+        return self._sampler.pick(rng)
 
     def providers(self) -> List[Provider]:
         return [p for p, _ in self.weights]

@@ -12,7 +12,6 @@ channel (CZDS snapshots, CT logs, RDAP, active DNS).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import FrozenSet, Optional, Tuple
 
 from repro.dnscore import name as dnsname
@@ -58,53 +57,80 @@ class DomainStatus(enum.Enum):
     DELETED = "deleted"
 
 
-@dataclass
 class DomainLifecycle:
     """Ground-truth record of one registered domain.
 
     Timelines hold the *zone-visible* state: they change at provisioning
     ticks, not at the instant the registrar submitted the change — the
     same distinction that gives rapid zone updates their value.
+
+    A ``__slots__`` class rather than a dataclass: full-scale worlds
+    hold one record per paper registration (tens of millions), so the
+    per-instance ``__dict__`` would dominate world memory.
     """
 
-    domain: str
-    tld: str
-    registrar: str
-    created_at: int
-    #: First provisioning run that published the delegation (None for
-    #: held domains that never reach the zone).
-    zone_added_at: Optional[int]
-    #: Registrar-side removal instant (None: survives the window).
-    removed_at: Optional[int] = None
-    #: Provisioning run that dropped the delegation.
-    zone_removed_at: Optional[int] = None
-    dns_provider: str = ""
-    web_provider: str = ""
-    ns_timeline: Timeline = field(default_factory=Timeline)
-    a_timeline: Timeline = field(default_factory=Timeline)
-    aaaa_timeline: Timeline = field(default_factory=Timeline)
-    is_malicious: bool = False
-    abuse_kind: Optional[AbuseKind] = None
-    removal_reason: Optional[RemovalReason] = None
-    actor: str = "legit"
-    #: Bulk-campaign identifier when part of a coordinated registration
-    #: burst (None for independent registrations).
-    campaign: "Optional[str]" = None
-    #: Domain is registered but intentionally kept out of the zone.
-    held: bool = False
-    #: The domain's own nameservers never answer (lame delegation).
-    lame: bool = False
-    #: Seconds after creation until the registry's RDAP shows the object.
-    rdap_sync_lag: int = 300
+    __slots__ = (
+        "domain", "tld", "registrar", "created_at", "zone_added_at",
+        "removed_at", "zone_removed_at", "dns_provider", "web_provider",
+        "ns_timeline", "a_timeline", "aaaa_timeline", "is_malicious",
+        "abuse_kind", "removal_reason", "actor", "campaign", "held",
+        "lame", "rdap_sync_lag",
+    )
 
-    def __post_init__(self) -> None:
-        self.domain = dnsname.normalize(self.domain)
+    def __init__(self, domain: str, tld: str, registrar: str,
+                 created_at: int,
+                 zone_added_at: Optional[int],
+                 removed_at: Optional[int] = None,
+                 zone_removed_at: Optional[int] = None,
+                 dns_provider: str = "", web_provider: str = "",
+                 ns_timeline: Optional[Timeline] = None,
+                 a_timeline: Optional[Timeline] = None,
+                 aaaa_timeline: Optional[Timeline] = None,
+                 is_malicious: bool = False,
+                 abuse_kind: Optional[AbuseKind] = None,
+                 removal_reason: Optional[RemovalReason] = None,
+                 actor: str = "legit",
+                 campaign: Optional[str] = None,
+                 held: bool = False, lame: bool = False,
+                 rdap_sync_lag: int = 300) -> None:
+        #: Canonical domain name (normalised on construction).
+        self.domain = dnsname.normalize(domain)
+        self.tld = tld
+        self.registrar = registrar
+        #: Registration instant (the RDAP creation timestamp).
+        self.created_at = created_at
+        #: First provisioning run that published the delegation (None for
+        #: held domains that never reach the zone).
+        self.zone_added_at = zone_added_at
+        #: Registrar-side removal instant (None: survives the window).
+        self.removed_at = removed_at
+        #: Provisioning run that dropped the delegation.
+        self.zone_removed_at = zone_removed_at
+        self.dns_provider = dns_provider
+        self.web_provider = web_provider
+        self.ns_timeline = ns_timeline if ns_timeline is not None else Timeline()
+        self.a_timeline = a_timeline if a_timeline is not None else Timeline()
+        self.aaaa_timeline = (aaaa_timeline if aaaa_timeline is not None
+                              else Timeline())
+        self.is_malicious = is_malicious
+        self.abuse_kind = abuse_kind
+        self.removal_reason = removal_reason
+        self.actor = actor
+        #: Bulk-campaign identifier when part of a coordinated registration
+        #: burst (None for independent registrations).
+        self.campaign = campaign
+        #: Domain is registered but intentionally kept out of the zone.
+        self.held = held
+        #: The domain's own nameservers never answer (lame delegation).
+        self.lame = lame
+        #: Seconds after creation until the registry's RDAP shows the object.
+        self.rdap_sync_lag = rdap_sync_lag
         if dnsname.tld_of(self.domain) != self.tld:
             raise ConfigError(f"{self.domain} not under .{self.tld}")
-        if self.zone_added_at is not None and self.zone_added_at < self.created_at:
+        if zone_added_at is not None and zone_added_at < created_at:
             raise ConfigError(f"{self.domain}: zone add precedes creation")
-        if (self.removed_at is not None and self.zone_removed_at is not None
-                and self.zone_removed_at < self.removed_at):
+        if (removed_at is not None and zone_removed_at is not None
+                and zone_removed_at < removed_at):
             raise ConfigError(f"{self.domain}: zone removal precedes removal")
 
     # -- zone state --------------------------------------------------------------

@@ -50,12 +50,16 @@ class TLDPolicy:
             raise ConfigError(f".{self.tld}: snapshot_offset outside [0, 1d)")
         if not 0.0 <= self.late_publication_prob <= 1.0:
             raise ConfigError(f".{self.tld}: bad late_publication_prob")
+        # The phase is pure in (tld, interval); precomputing it keeps the
+        # per-registration tick arithmetic hash-free.
+        object.__setattr__(self, "_tick_phase", int(
+            stable_hash01(self.tld, "tickphase") * self.zone_update_interval))
 
     # -- zone tick arithmetic --------------------------------------------------
 
     def tick_phase(self) -> int:
         """Deterministic per-TLD phase so registries don't tick in sync."""
-        return int(stable_hash01(self.tld, "tickphase") * self.zone_update_interval)
+        return self._tick_phase
 
     def next_zone_tick(self, ts: int) -> int:
         """First provisioning run at or after ``ts``.
@@ -64,7 +68,7 @@ class TLDPolicy:
         performing domain validation) at this instant.
         """
         interval = self.zone_update_interval
-        phase = self.tick_phase()
+        phase = self._tick_phase
         elapsed = ts - phase
         runs = -(-elapsed // interval)  # ceil
         return phase + runs * interval
@@ -72,7 +76,7 @@ class TLDPolicy:
     def tick_index(self, ts: int) -> int:
         """How many provisioning runs happened up to and including ``ts``."""
         interval = self.zone_update_interval
-        phase = self.tick_phase()
+        phase = self._tick_phase
         if ts < phase:
             return 0
         return (ts - phase) // interval + 1

@@ -21,7 +21,17 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.errors import ConfigError
 from repro.registry.lifecycle import RemovalReason
 from repro.simtime.clock import DAY, HOUR, MINUTE
-from repro.simtime.rng import RngStream
+from repro.simtime.rng import RngStream, WeightedSampler
+
+#: Removal-reason distributions (constants — hoisted samplers keep the
+#: per-takedown draw cheap while reproducing ``weighted_choice`` exactly).
+_FAST_REASONS = WeightedSampler(
+    [RemovalReason.PAYMENT_FRAUD, RemovalReason.ACCOUNT_SUSPENSION,
+     RemovalReason.ABUSE, RemovalReason.DOMAIN_TASTING,
+     RemovalReason.RIGHT_OF_CANCELLATION],
+    [0.40, 0.30, 0.27, 0.02, 0.01])
+_SLOW_REASONS = WeightedSampler(
+    [RemovalReason.ABUSE, RemovalReason.ACCOUNT_SUSPENSION], [0.8, 0.2])
 
 
 @dataclass(frozen=True)
@@ -58,15 +68,7 @@ class TakedownModel:
         return int(delay), False
 
     def sample_reason(self, rng: RngStream, was_fast: bool) -> RemovalReason:
-        if was_fast:
-            return rng.weighted_choice(
-                [RemovalReason.PAYMENT_FRAUD, RemovalReason.ACCOUNT_SUSPENSION,
-                 RemovalReason.ABUSE, RemovalReason.DOMAIN_TASTING,
-                 RemovalReason.RIGHT_OF_CANCELLATION],
-                [0.40, 0.30, 0.27, 0.02, 0.01])
-        return rng.weighted_choice(
-            [RemovalReason.ABUSE, RemovalReason.ACCOUNT_SUSPENSION],
-            [0.8, 0.2])
+        return (_FAST_REASONS if was_fast else _SLOW_REASONS).pick(rng)
 
 
 @dataclass(frozen=True)
@@ -125,9 +127,12 @@ class RegistrarMix:
 
     weights: Tuple[Tuple[Registrar, float], ...]
 
+    def __post_init__(self) -> None:
+        # Derived cache, not a field — see ProviderMix for the pattern.
+        object.__setattr__(self, "_sampler", WeightedSampler.from_pairs(self.weights))
+
     def pick(self, rng: RngStream) -> Registrar:
-        return rng.weighted_choice([r for r, _ in self.weights],
-                                   [w for _, w in self.weights])
+        return self._sampler.pick(rng)
 
 
 #: Registrar mix of the *transient/malicious* population — Table 3

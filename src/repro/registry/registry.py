@@ -14,7 +14,7 @@ everything observable from them:
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_right, insort
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.dnscore import name as dnsname
@@ -26,6 +26,25 @@ from repro.errors import RegistrationError, UnknownDomainError
 from repro.registry.lifecycle import DomainLifecycle, RemovalReason
 from repro.registry.policy import TLDPolicy
 from repro.simtime.clock import DAY
+from repro.simtime.timeline import Timeline
+
+#: Normalised NS sets memoised by the raw host tuple.  Providers hand
+#: out nameserver pairs from small pools, so the same tuples recur for
+#: millions of registrations; one bounded dict removes two name
+#: normalisations and a frozenset build per registration.
+_NS_SET_CACHE: Dict[Tuple[str, ...], FrozenSet[str]] = {}
+_NS_SET_CACHE_MAX = 1 << 16
+
+
+def _normalized_ns_set(ns_hosts: Iterable[str]) -> FrozenSet[str]:
+    key = tuple(ns_hosts)
+    cached = _NS_SET_CACHE.get(key)
+    if cached is None:
+        cached = frozenset(dnsname.normalize(h) for h in key)
+        if len(_NS_SET_CACHE) >= _NS_SET_CACHE_MAX:
+            _NS_SET_CACHE.clear()
+        _NS_SET_CACHE[key] = cached
+    return cached
 
 
 class Registry:
@@ -55,27 +74,34 @@ class Registry:
         norm = dnsname.normalize(domain)
         if norm in self._lifecycles:
             raise RegistrationError(f"{norm} is already registered")
-        if dnsname.tld_of(norm) != self.tld:
+        # norm is canonical, so the TLD is simply its last label.
+        if norm.rsplit(".", 1)[-1] != self.tld:
             raise RegistrationError(f"{norm} does not belong under .{self.tld}")
         zone_added_at = None if held else self.policy.next_zone_tick(created_at)
+        # Timelines are built up front (single-change fast path) so the
+        # lifecycle constructor never allocates throwaway empties.
+        ns_timeline = a_timeline = aaaa_timeline = None
+        if zone_added_at is not None:
+            ns_timeline = Timeline.single(zone_added_at,
+                                          _normalized_ns_set(ns_hosts))
+            a_tuple = tuple(sorted(a_addrs))
+            if a_tuple:
+                a_timeline = Timeline.single(zone_added_at, a_tuple)
+            aaaa_tuple = tuple(sorted(aaaa_addrs))
+            if aaaa_tuple:
+                aaaa_timeline = Timeline.single(zone_added_at, aaaa_tuple)
         lifecycle = DomainLifecycle(
             domain=norm, tld=self.tld, registrar=registrar,
             created_at=created_at, zone_added_at=zone_added_at,
             dns_provider=dns_provider, web_provider=web_provider,
+            ns_timeline=ns_timeline, a_timeline=a_timeline,
+            aaaa_timeline=aaaa_timeline,
             is_malicious=is_malicious, abuse_kind=abuse_kind, actor=actor,
             campaign=campaign, held=held, lame=lame,
             rdap_sync_lag=(rdap_sync_lag if rdap_sync_lag is not None
                            else self.policy.rdap_sync_lag_mean),
         )
         if zone_added_at is not None:
-            lifecycle.ns_timeline.set(zone_added_at, frozenset(
-                dnsname.normalize(h) for h in ns_hosts))
-            a_tuple = tuple(sorted(a_addrs))
-            aaaa_tuple = tuple(sorted(aaaa_addrs))
-            if a_tuple:
-                lifecycle.a_timeline.set(zone_added_at, a_tuple)
-            if aaaa_tuple:
-                lifecycle.aaaa_timeline.set(zone_added_at, aaaa_tuple)
             self._mark_dirty(zone_added_at)
         self._lifecycles[norm] = lifecycle
         return lifecycle
@@ -130,8 +156,7 @@ class Registry:
         if lifecycle.zone_added_at is None:
             raise RegistrationError(f"{domain} is not delegated")
         effective = self.policy.next_zone_tick(change_at)
-        lifecycle.ns_timeline.set(effective, frozenset(
-            dnsname.normalize(h) for h in ns_hosts))
+        lifecycle.ns_timeline.set(effective, _normalized_ns_set(ns_hosts))
         if a_addrs:
             lifecycle.a_timeline.set(effective, tuple(sorted(a_addrs)))
         if dns_provider is not None:
@@ -194,14 +219,15 @@ class Registry:
                            taken_at=ts, delegations=delegations)
 
     def _mark_dirty(self, tick_ts: int) -> None:
-        self._dirty_ticks.add(self.policy.tick_index(tick_ts))
-        self._serial_cache = None
+        index = self.policy.tick_index(tick_ts)
+        if index not in self._dirty_ticks:
+            self._dirty_ticks.add(index)
+            self._serial_cache = None
 
     def serial_at(self, ts: int) -> int:
         """SOA serial at ``ts``: number of content-changing runs so far."""
         if self._serial_cache is None:
             self._serial_cache = sorted(self._dirty_ticks)
-        from bisect import bisect_right
         return bisect_right(self._serial_cache, self.policy.tick_index(ts))
 
     def authority(self) -> TLDAuthority:
@@ -249,11 +275,13 @@ class RegistryGroup:
         return self.get(dnsname.tld_of(domain))
 
     def find_lifecycle(self, domain: str) -> Optional[DomainLifecycle]:
-        try:
-            registry = self.for_domain(domain)
-        except UnknownDomainError:
+        norm = dnsname.normalize(domain)
+        if not norm:
             return None
-        return registry.find(domain)
+        registry = self._registries.get(norm.rsplit(".", 1)[-1])
+        if registry is None:
+            return None
+        return registry.find(norm)
 
     def tlds(self) -> List[str]:
         return sorted(self._registries)

@@ -25,6 +25,7 @@ from repro.simtime.events import EventHandle, EventLoop, PeriodicTask
 from repro.simtime.rng import (
     RngStream,
     SeedBank,
+    WeightedSampler,
     derive_seed,
     spawn,
     stable_bucket,
@@ -39,7 +40,7 @@ __all__ = [
     "day_floor", "days", "hours", "isoformat", "minutes", "month_key",
     "parse_duration", "seconds", "to_datetime", "utc",
     "EventHandle", "EventLoop", "PeriodicTask",
-    "RngStream", "SeedBank", "derive_seed", "spawn",
+    "RngStream", "SeedBank", "WeightedSampler", "derive_seed", "spawn",
     "stable_bucket", "stable_hash01",
     "BooleanTimeline", "Timeline", "merge_change_times",
 ]

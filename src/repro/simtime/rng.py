@@ -19,7 +19,9 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import Optional, Sequence, Tuple
+from bisect import bisect as _bisect
+from itertools import accumulate as _accumulate
+from typing import Dict, Optional, Sequence, Tuple
 
 
 def derive_seed(master: int, *path: str) -> int:
@@ -80,8 +82,23 @@ class RngStream(random.Random):
         return min(max(draw(), low), high)
 
     def weighted_choice(self, items: Sequence, weights: Sequence[float]):
-        """Pick one item by weight (weights need not be normalised)."""
-        return self.choices(list(items), weights=list(weights), k=1)[0]
+        """Pick one item by weight (weights need not be normalised).
+
+        Draw-identical to ``random.choices(items, weights=weights, k=1)``
+        — one ``random()`` call resolved against the cumulative weights —
+        without re-listing the inputs.  Callers that pick repeatedly from
+        the same distribution should hoist a :class:`WeightedSampler`.
+        """
+        cum = list(_accumulate(weights))
+        if len(cum) != len(items):
+            raise ValueError(
+                "The number of weights does not match the population")
+        total = cum[-1] + 0.0
+        if total <= 0.0:
+            raise ValueError("Total of weights must be greater than zero")
+        if not math.isfinite(total):
+            raise ValueError("Total of weights must be finite")
+        return items[_bisect(cum, self.random() * total, 0, len(cum) - 1)]
 
     def poisson(self, lam: float) -> int:
         """Poisson variate.
@@ -115,6 +132,44 @@ class RngStream(random.Random):
         return n - 1
 
 
+class WeightedSampler:
+    """Reusable weighted sampler with precomputed cumulative weights.
+
+    ``pick(rng)`` consumes exactly one ``rng.random()`` draw and returns
+    the same item ``random.choices(items, weights=weights, k=1)[0]``
+    would have returned from that draw — so swapping a per-call
+    ``weighted_choice`` for a hoisted sampler never perturbs a stream.
+    The cumulative array, the float total, and the bisect bounds are all
+    precomputed once, which is what makes mixture picks cheap in the
+    world-generation hot loop.
+    """
+
+    __slots__ = ("items", "_cum", "_total", "_hi")
+
+    def __init__(self, items: Sequence, weights: Sequence[float]) -> None:
+        self.items = list(items)
+        if len(self.items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        self._cum = list(_accumulate(weights))
+        if not self._cum:
+            raise ValueError("sampler needs at least one item")
+        self._total = self._cum[-1] + 0.0
+        if self._total <= 0.0:
+            raise ValueError("Total of weights must be greater than zero")
+        if not math.isfinite(self._total):
+            raise ValueError("Total of weights must be finite")
+        self._hi = len(self._cum) - 1
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[object, float]]) -> "WeightedSampler":
+        return cls([item for item, _ in pairs], [w for _, w in pairs])
+
+    def pick(self, rng: random.Random):
+        """One weighted draw (bit-identical to ``random.choices``)."""
+        return self.items[_bisect(self._cum, rng.random() * self._total,
+                                  0, self._hi)]
+
+
 class SeedBank:
     """Factory handing out named :class:`RngStream` objects from one seed.
 
@@ -140,6 +195,31 @@ class SeedBank:
         return RngStream(self.master, *path)
 
 
+#: Hashers pre-fed with ``salt + \x00`` — salts come from a small fixed
+#: vocabulary (topic names, decision tags), so caching them turns every
+#: hash into one copy + one update instead of three updates.
+_SALTED_HASHERS: Dict[str, object] = {}
+_SALTED_HASHERS_MAX = 4096
+
+#: Bounded (text, salt) → value memo.  Hot consumers (broker partition
+#: routing, zone-tick phases, NS assignment) re-hash the same keys many
+#: times per run; the memo is cleared wholesale when full so the bound
+#: holds without per-hit bookkeeping.
+_HASH_MEMO: Dict[Tuple[str, str], float] = {}
+_HASH_MEMO_MAX = 1 << 18
+
+
+def _salted_hasher(salt: str):
+    hasher = _SALTED_HASHERS.get(salt)
+    if hasher is None:
+        hasher = hashlib.blake2b(digest_size=8)
+        hasher.update(salt.encode("utf-8"))
+        hasher.update(b"\x00")
+        if len(_SALTED_HASHERS) < _SALTED_HASHERS_MAX:
+            _SALTED_HASHERS[salt] = hasher
+    return hasher
+
+
 def stable_hash01(text: str, salt: str = "") -> float:
     """Map a string to a deterministic float in [0, 1).
 
@@ -147,11 +227,16 @@ def stable_hash01(text: str, salt: str = "") -> float:
     order in which domains are processed (e.g. which worker monitors a
     domain, whether a passive-DNS sensor sees its queries).
     """
-    h = hashlib.blake2b(digest_size=8)
-    h.update(salt.encode("utf-8"))
-    h.update(b"\x00")
-    h.update(text.encode("utf-8"))
-    return int.from_bytes(h.digest(), "big") / 2.0 ** 64
+    key = (text, salt)
+    value = _HASH_MEMO.get(key)
+    if value is None:
+        h = _salted_hasher(salt).copy()
+        h.update(text.encode("utf-8"))
+        value = int.from_bytes(h.digest(), "big") / 18446744073709551616.0
+        if len(_HASH_MEMO) >= _HASH_MEMO_MAX:
+            _HASH_MEMO.clear()
+        _HASH_MEMO[key] = value
+    return value
 
 
 def stable_bucket(text: str, buckets: int, salt: str = "") -> int:

@@ -60,6 +60,20 @@ class Timeline(Generic[V]):
         """A timeline that holds ``value`` for all time."""
         return cls(initial=value)
 
+    @classmethod
+    def single(cls, ts: int, value: V) -> "Timeline[V]":
+        """A timeline with exactly one change point.
+
+        Equivalent to ``t = Timeline(); t.set(ts, value)`` for non-None
+        values, skipping the ordering/no-op checks — the shape every
+        fresh registration creates, three timelines at a time.
+        """
+        timeline = object.__new__(cls)
+        timeline._times = [int(ts)]
+        timeline._values = [value]
+        timeline._initial = None
+        return timeline
+
     # -- queries ---------------------------------------------------------------
 
     def at(self, ts: int) -> Optional[V]:

@@ -28,7 +28,7 @@ from repro.registry.registrar import (
     TRANSIENT_REGISTRAR_MIX,
 )
 from repro.simtime.clock import HOUR, MINUTE
-from repro.simtime.rng import RngStream
+from repro.simtime.rng import RngStream, WeightedSampler
 
 
 @dataclass(frozen=True)
@@ -169,10 +169,27 @@ BENIGN_PROFILES: Tuple[Tuple[ActorProfile, float], ...] = (
 )
 
 
+#: Samplers memoised per mixture tuple, keyed by identity.  The value
+#: keeps a strong reference to the key object so its id() can never be
+#: recycled; mixtures are module constants, so the map stays tiny.
+_MIXTURE_SAMPLERS: dict = {}
+
+
+def profile_sampler(
+        mixture: Tuple[Tuple[ActorProfile, float], ...]) -> WeightedSampler:
+    """The memoised sampler for a mixture (hoist it in hot loops)."""
+    entry = _MIXTURE_SAMPLERS.get(id(mixture))
+    if entry is None or entry[0] is not mixture:
+        entry = (mixture, WeightedSampler.from_pairs(mixture))
+        if len(_MIXTURE_SAMPLERS) > 256:
+            _MIXTURE_SAMPLERS.clear()
+        _MIXTURE_SAMPLERS[id(mixture)] = entry
+    return entry[1]
+
+
 def pick_profile(rng: RngStream,
                  mixture: Tuple[Tuple[ActorProfile, float], ...]) -> ActorProfile:
-    return rng.weighted_choice([p for p, _ in mixture],
-                               [w for _, w in mixture])
+    return profile_sampler(mixture).pick(rng)
 
 
 def mean_cert_affinity(mixture: Tuple[Tuple[ActorProfile, float], ...]) -> float:

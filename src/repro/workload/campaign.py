@@ -43,28 +43,47 @@ class NSChangePlan:
     new_dns_provider: Provider
 
 
-@dataclass
 class RegistrationPlan:
-    """Everything needed to execute one registration."""
+    """Everything needed to execute one registration.
 
-    domain: str
-    tld: str
-    created_at: int
-    profile: ActorProfile
-    registrar: Registrar
-    dns_provider: Provider
-    web_provider: Provider
-    #: None: survives the window.  Seconds after created_at otherwise.
-    removal_delay: Optional[int] = None
-    fast_takedown: bool = False
-    cert: Optional[CertPlan] = None
-    ns_change: Optional[NSChangePlan] = None
-    held: bool = False
-    lame: bool = False
-    campaign_id: Optional[str] = None
-    #: The name was registered (and dropped) before — it has zone-file
-    #: history in DZDB even though this registration is new.
-    has_history: bool = False
+    A ``__slots__`` class: one plan exists per synthetic registration,
+    which makes construction cost and per-instance memory part of the
+    world-build hot path.
+    """
+
+    __slots__ = ("domain", "tld", "created_at", "profile", "registrar",
+                 "dns_provider", "web_provider", "removal_delay",
+                 "fast_takedown", "cert", "ns_change", "held", "lame",
+                 "campaign_id", "has_history")
+
+    def __init__(self, domain: str, tld: str, created_at: int,
+                 profile: ActorProfile, registrar: Registrar,
+                 dns_provider: Provider, web_provider: Provider,
+                 removal_delay: Optional[int] = None,
+                 fast_takedown: bool = False,
+                 cert: Optional[CertPlan] = None,
+                 ns_change: Optional[NSChangePlan] = None,
+                 held: bool = False, lame: bool = False,
+                 campaign_id: Optional[str] = None,
+                 has_history: bool = False) -> None:
+        self.domain = domain
+        self.tld = tld
+        self.created_at = created_at
+        self.profile = profile
+        self.registrar = registrar
+        self.dns_provider = dns_provider
+        self.web_provider = web_provider
+        #: None: survives the window.  Seconds after created_at otherwise.
+        self.removal_delay = removal_delay
+        self.fast_takedown = fast_takedown
+        self.cert = cert
+        self.ns_change = ns_change
+        self.held = held
+        self.lame = lame
+        self.campaign_id = campaign_id
+        #: The name was registered (and dropped) before — it has zone-file
+        #: history in DZDB even though this registration is new.
+        self.has_history = has_history
 
     @property
     def removed_at(self) -> Optional[int]:

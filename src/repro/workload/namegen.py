@@ -44,6 +44,16 @@ _VERBS = ("get", "try", "join", "visit", "use", "book", "shop", "go")
 _CONSONANTS = "bcdfghjklmnpqrstvwxz"
 _VOWELS = "aeiou"
 
+#: Choice pools hoisted out of the per-name hot path (a fresh list per
+#: call costs as much as the draw itself at world-build volume).
+_JOINERS = ("", "", "-")
+_STARTUP_SUFFIXES = ("ly", "io", "ify", "hub")
+_TYPO_TAILS = (
+    "login", "secure", "verify", "account", "support", "update",
+    "billing", "signin", "auth", "wallet",
+)
+_BASE36_DIGITS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
 
 class NameGenerator:
     """Deterministic unique name factory for one scenario."""
@@ -60,7 +70,7 @@ class NameGenerator:
         certs, held domains, baseline population) collision-free.
         """
         n = next(self._seq)
-        digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+        digits = _BASE36_DIGITS
         out = []
         while n:
             n, rem = divmod(n, 36)
@@ -73,7 +83,7 @@ class NameGenerator:
         """Ordinary, human-chosen compound (``brightriver7.com``)."""
         adjective = self._rng.choice(_ADJECTIVES)
         noun = self._rng.choice(_NOUNS)
-        joiner = self._rng.choice(["", "", "-"])
+        joiner = self._rng.choice(_JOINERS)
         return f"{adjective}{joiner}{noun}{self._suffix()}.{tld}"
 
     def startup(self, tld: str) -> str:
@@ -81,7 +91,7 @@ class NameGenerator:
         stem = self._rng.choice(_NOUNS)
         stem = "".join(c for c in stem if c not in _VOWELS)[:4] or stem[:3]
         vowel = self._rng.choice(_VOWELS)
-        return f"{stem}{vowel}{self._rng.choice(['ly', 'io', 'ify', 'hub'])}{self._suffix()}.{tld}"
+        return f"{stem}{vowel}{self._rng.choice(_STARTUP_SUFFIXES)}{self._suffix()}.{tld}"
 
     def dga(self, tld: str, length: int = 12) -> str:
         """Algorithmically generated label (malware/bulk style)."""
@@ -94,10 +104,7 @@ class NameGenerator:
     def typosquat(self, tld: str) -> str:
         """Brand-adjacent phishing name (``paypa1-secure-login.com``)."""
         brand = self._rng.choice(_BRANDS)
-        tail = self._rng.choice([
-            "login", "secure", "verify", "account", "support", "update",
-            "billing", "signin", "auth", "wallet",
-        ])
+        tail = self._rng.choice(_TYPO_TAILS)
         pattern = self._rng.choice([
             f"{brand}-{tail}", f"{tail}-{brand}", f"{brand}{tail}",
             f"{self._rng.choice(_VERBS)}-{brand}-{tail}",

@@ -170,3 +170,46 @@ class TestDataset:
         ds.save_all(tmp_path)
         assert (tmp_path / "x.json").exists()
         assert (tmp_path / "y.json").exists()
+
+
+class TestBrokerFastPath:
+    def test_produce_many_equals_sequential_produce(self):
+        items = [(f"key{i % 7}", {"i": i}, 100 + i) for i in range(50)]
+        a, b = Broker(), Broker()
+        for key, value, ts in items:
+            a.produce("t", key, value, ts)
+        assert b.produce_many("t", items) == 50
+        for pa, pb in zip(a.topic("t").partitions, b.topic("t").partitions):
+            la = pa.read(0, pa.end_offset)
+            lb = pb.read(0, pb.end_offset)
+            assert [(m.key, m.offset, m.timestamp) for m in la] == \
+                   [(m.key, m.offset, m.timestamp) for m in lb]
+
+    def test_all_messages_ordered_log_uses_merge(self):
+        broker = Broker()
+        for i in range(40):
+            broker.produce("t", f"k{i}", i, timestamp=1000 + i)
+        topic = broker.topic("t")
+        assert all(p.time_ordered for p in topic.partitions)
+        messages = topic.all_messages()
+        keys = [(m.timestamp, m.partition, m.offset) for m in messages]
+        assert keys == sorted(keys)
+        assert len(messages) == 40
+
+    def test_all_messages_out_of_order_falls_back_to_sort(self):
+        broker = Broker(default_partitions=2)
+        broker.produce("t", "a", 1, timestamp=500)
+        broker.produce("t", "b", 2, timestamp=100)  # clock going backwards
+        broker.produce("t", "c", 3, timestamp=300)
+        topic = broker.topic("t")
+        messages = topic.all_messages()
+        keys = [(m.timestamp, m.partition, m.offset) for m in messages]
+        assert keys == sorted(keys)
+        assert len(messages) == 3
+
+    def test_single_partition_ordered_short_circuit(self):
+        broker = Broker(default_partitions=1)
+        for i in range(5):
+            broker.produce("t", "k", i, timestamp=i)
+        assert [m.value for m in broker.topic("t").all_messages()] == \
+               [0, 1, 2, 3, 4]

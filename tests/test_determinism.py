@@ -4,11 +4,55 @@ import pytest
 
 from repro.analysis.report import full_report
 from repro.core.pipeline import run_pipeline
-from repro.workload.scenario import ScenarioConfig, build_world
+from repro.workload.scenario import (
+    ScenarioConfig,
+    build_world,
+    world_fingerprint,
+)
 
 
 CONFIG = ScenarioConfig(seed=21, scale=1 / 5000, tlds=["com", "xyz", "top"],
                         include_cctld=False)
+
+#: Golden world fingerprints, recorded from the *pre-fast-path* (seed,
+#: PR 2 tip) implementation.  They pin every sampled value in a world:
+#: any optimization that perturbs a single draw — one extra RNG call,
+#: one reordered weighted pick, one changed hash — changes these
+#: digests and fails the suite.  If a future PR *intends* to change
+#: sampling, re-record via
+#: ``PYTHONPATH=src python -c "from repro.workload.scenario import *; \
+#: print(world_fingerprint(build_world(<config>)))"`` and say so in the
+#: PR description.
+GOLDEN_FINGERPRINTS = {
+    "gtld_small": (
+        ScenarioConfig(seed=21, scale=1 / 5000, tlds=["com", "xyz", "top"],
+                       include_cctld=False),
+        "67d1e472d09685d135ada67302d81b18",
+    ),
+    "with_cctld": (
+        ScenarioConfig(seed=11, scale=1 / 4000, tlds=["com", "shop"],
+                       include_cctld=True, cctld_scale=1 / 100),
+        "5f7aaf744e094abeec710cdf21857226",
+    ),
+}
+
+
+class TestWorldFingerprintGolden:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FINGERPRINTS))
+    def test_fingerprint_matches_golden(self, name):
+        config, expected = GOLDEN_FINGERPRINTS[name]
+        assert world_fingerprint(build_world(config)) == expected
+
+    def test_fingerprint_stable_across_builds(self):
+        config, _ = GOLDEN_FINGERPRINTS["gtld_small"]
+        assert (world_fingerprint(build_world(config))
+                == world_fingerprint(build_world(config)))
+
+    def test_fingerprint_seed_sensitive(self):
+        config, expected = GOLDEN_FINGERPRINTS["gtld_small"]
+        from dataclasses import replace
+        other = world_fingerprint(build_world(replace(config, seed=22)))
+        assert other != expected
 
 
 @pytest.fixture(scope="module")

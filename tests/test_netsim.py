@@ -191,3 +191,51 @@ class TestProviderMix:
         rng = RngStream(3, "mixl")
         picks = [LEGIT_DNS_MIX.pick(rng).name for _ in range(4000)]
         assert picks.count("Cloudflare") / len(picks) < 0.35
+
+
+class TestAddressPoolFastPath:
+    """The cumulative-size bisect must match the original linear walk."""
+
+    @staticmethod
+    def _linear_reference(pool, key, salt=""):
+        from repro.simtime.rng import stable_hash01
+        offset = int(stable_hash01(key, salt or "addrpool") * pool._total)
+        for prefix in pool.prefixes:
+            if offset < prefix.size:
+                return prefix.format(prefix.address_at(offset))
+            offset -= prefix.size
+        last = pool.prefixes[-1]
+        return last.format(last.address_at(last.size - 1))
+
+    def test_bisect_matches_linear_walk_v4(self):
+        pool = AddressPool.parse([
+            "198.18.0.0/24", "198.18.5.0/26", "203.0.113.0/28",
+            "192.0.2.0/25",
+        ])
+        for i in range(500):
+            key = f"domain{i}.example"
+            assert pool.address_for(key) == self._linear_reference(pool, key)
+            assert (pool.address_for(key, salt="s2")
+                    == self._linear_reference(pool, key, salt="s2"))
+
+    def test_bisect_matches_linear_walk_v6(self):
+        pool = AddressPool.parse(["2001:db8::/64", "2001:db8:1::/80"])
+        for i in range(200):
+            key = f"v6domain{i}.example"
+            assert pool.address_for(key) == self._linear_reference(pool, key)
+
+    def test_single_prefix_pool(self):
+        pool = AddressPool.parse(["198.18.0.0/30"])
+        seen = {pool.address_for(f"k{i}") for i in range(64)}
+        assert seen <= {"198.18.0.0", "198.18.0.1", "198.18.0.2",
+                        "198.18.0.3"}
+
+    def test_provider_pools_are_memoized(self):
+        from repro.netsim.hosting import CLOUDFLARE
+        assert CLOUDFLARE.web_pool() is CLOUDFLARE.web_pool()
+
+    def test_provider_addresses_stay_in_pool(self):
+        from repro.netsim.hosting import ALL_PROVIDERS
+        for provider in ALL_PROVIDERS:
+            address = provider.address_for("stable-domain.com")
+            assert address in provider.web_pool()

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.simtime.rng import (
     RngStream,
     SeedBank,
+    WeightedSampler,
     derive_seed,
     spawn,
     stable_bucket,
@@ -153,3 +154,81 @@ class TestStableHash:
         for i in range(8000):
             counts[stable_bucket(f"domain{i}.net", 8)] += 1
         assert min(counts) > 800  # expected 1000 each
+
+
+class TestWeightedSampler:
+    """The fast-path sampler must be bit-identical to random.choices."""
+
+    @given(seed=st.integers(0, 2 ** 32),
+           weights=st.lists(st.one_of(
+               st.integers(min_value=0, max_value=1000),
+               st.floats(min_value=0.0, max_value=100.0,
+                         allow_nan=False, allow_infinity=False)),
+               min_size=1, max_size=40),
+           draws=st.integers(1, 50))
+    @settings(max_examples=120, deadline=None)
+    def test_pick_matches_random_choices(self, seed, weights, draws):
+        from hypothesis import assume
+        assume(sum(weights) > 0)
+        items = list(range(len(weights)))
+        sampler = WeightedSampler(items, weights)
+        a = RngStream(seed, "sampler")
+        b = RngStream(seed, "sampler")
+        got = [sampler.pick(a) for _ in range(draws)]
+        want = [b.choices(items, weights=weights, k=1)[0]
+                for _ in range(draws)]
+        assert got == want
+        # Both consumed the same number of underlying draws.
+        assert a.random() == b.random()
+
+    @given(seed=st.integers(0, 2 ** 32),
+           weights=st.lists(st.floats(min_value=0.001, max_value=10.0,
+                                      allow_nan=False),
+                            min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_choice_matches_random_choices(self, seed, weights):
+        items = [f"item{i}" for i in range(len(weights))]
+        a = RngStream(seed, "wc")
+        b = RngStream(seed, "wc")
+        got = [a.weighted_choice(items, weights) for _ in range(10)]
+        want = [b.choices(list(items), weights=list(weights), k=1)[0]
+                for _ in range(10)]
+        assert got == want
+
+    def test_from_pairs(self):
+        sampler = WeightedSampler.from_pairs([("a", 1.0), ("b", 3.0)])
+        rng = RngStream(7, "pairs")
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[sampler.pick(rng)] += 1
+        assert counts["b"] > counts["a"]
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            WeightedSampler([], [])
+        with pytest.raises(ValueError):
+            WeightedSampler(["a"], [0.0])
+        with pytest.raises(ValueError):
+            WeightedSampler(["a", "b"], [1.0])
+
+    def test_weighted_choice_rejects_zero_total(self):
+        rng = RngStream(7, "zero")
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [0.0, 0.0])
+
+
+class TestStableHashMemo:
+    def test_memo_returns_identical_values(self):
+        # Same digest whether the (text, salt) pair is cold or memoised.
+        first = stable_hash01("memo-domain.com", "saltx")
+        again = stable_hash01("memo-domain.com", "saltx")
+        assert first == again
+        # Ground truth: one-shot blake2b over salt\x00text.
+        import hashlib
+        h = hashlib.blake2b(digest_size=8)
+        h.update(b"saltx\x00memo-domain.com")
+        assert first == int.from_bytes(h.digest(), "big") / 2.0 ** 64
+
+    def test_bucket_stability(self):
+        assert (stable_bucket("x.com", 16, "s")
+                == stable_bucket("x.com", 16, "s"))
