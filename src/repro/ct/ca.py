@@ -24,6 +24,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.ct.certificate import Certificate, MAX_VALIDITY, make_precert
 from repro.ct.ctlog import CTLog, LogEntry
+from repro.dnscore.interned import intern_name
 from repro.errors import ValidationError
 from repro.simtime.clock import DAY
 
@@ -95,17 +96,20 @@ class CertificateAuthority:
         Scenario builders use this to model domains validated during a
         *previous* registration — the precondition for ghost issuance.
         """
+        domain = intern_name(domain)
         self._tokens[domain] = DVToken(domain, validated_at)
 
     def token_for(self, domain: str) -> Optional[DVToken]:
-        return self._tokens.get(domain)
+        # Tokens are keyed by the interned (canonical) name, so
+        # lookups canonicalise too — any spelling round-trips.
+        return self._tokens.get(intern_name(domain))
 
     def tokens(self) -> List[DVToken]:
         """All cached DV tokens (world fingerprinting, audits)."""
         return list(self._tokens.values())
 
     def has_valid_token(self, domain: str, ts: int) -> bool:
-        token = self._tokens.get(domain)
+        token = self._tokens.get(intern_name(domain))
         return token is not None and token.valid_at(ts)
 
     # -- issuance -------------------------------------------------------------------
@@ -118,6 +122,7 @@ class CertificateAuthority:
         Raises :class:`~repro.errors.ValidationError` when the domain
         neither resolves nor has a reusable token.
         """
+        domain = intern_name(domain)
         fresh = False
         issued_at = requested_at
         if self._exists(domain, requested_at):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.dnscore import name as dnsname
+from repro.dnscore.interned import Name
 from repro.errors import CTError
 from repro.simtime.clock import DAY
 
@@ -46,7 +47,8 @@ class Certificate:
         if not_after - not_before > MAX_VALIDITY:
             raise CTError("certificate exceeds 398-day maximum validity")
         self.serial = serial
-        self.common_name = dnsname.normalize(dnsname.strip_wildcard(common_name))
+        # strip_wildcard interns, so the result is already canonical.
+        self.common_name = dnsname.strip_wildcard(common_name)
         self.sans = tuple(sans)
         self.issuer = issuer
         self.not_before = not_before
@@ -62,10 +64,14 @@ class Certificate:
         names: List[str] = []
         seen = set()
         for raw in (self.common_name, *self.sans):
-            try:
-                name = dnsname.strip_wildcard(raw)
-            except Exception:
-                continue
+            if type(raw) is Name:
+                # Pre-interned at generation: stripping is a slot read.
+                name = raw.stripped()
+            else:
+                try:
+                    name = dnsname.strip_wildcard(raw)
+                except Exception:
+                    continue
             if name and name not in seen:
                 seen.add(name)
                 names.append(name)
@@ -95,11 +101,16 @@ def make_precert(serial: int, domain: str, issuer: str, issued_at: int,
     Let's Encrypt-style issuance covers the bare domain plus ``www.``;
     ``extra_sans`` lets workload models add subdomains.
     """
-    norm = dnsname.normalize(domain)
+    # Every SAN is interned (and its label caches warmed) at
+    # generation, so the detector and any later consumer receive Names
+    # whose string facts are already computed — and the retained label
+    # tuples are allocated here, under the world build's GC pause,
+    # rather than mid-measurement.
+    norm = dnsname.normalize(domain).warm()
     sans = [norm]
     if include_www:
-        sans.append(f"www.{norm}")
-    sans.extend(dnsname.normalize(s) for s in extra_sans)
+        sans.append(dnsname.normalize(f"www.{norm}").warm())
+    sans.extend(dnsname.normalize(s).warm() for s in extra_sans)
     return Certificate(
         serial=serial,
         common_name=norm,

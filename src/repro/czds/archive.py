@@ -73,8 +73,10 @@ class SnapshotArchive:
         Uncovered TLDs (ccTLDs outside the collection) return False —
         nothing to filter against, every cert looks new.
         """
+        # normalize returns the interned Name: identity for the
+        # pre-interned pipeline path, and the TLD is a cached slot.
         norm = dnsname.normalize(domain)
-        schedule = self._schedules.get(norm.rsplit(".", 1)[-1])
+        schedule = self._schedules.get(norm.tld)
         if schedule is None:
             return False
         meta = schedule.latest_published(ts)

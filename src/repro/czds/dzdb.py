@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.dnscore import name as dnsname
+from repro.dnscore.interned import Name, intern_name
 from repro.errors import ConfigError
 from repro.simtime.clock import DAY, isoformat
 
@@ -44,11 +44,13 @@ class DZDB:
         return len(self._records)
 
     def __contains__(self, domain: str) -> bool:
-        return dnsname.normalize(domain) in self._records
+        if type(domain) is not Name:
+            domain = intern_name(domain)
+        return domain in self._records
 
     def observe(self, domain: str, seen_at: int) -> None:
         """Record a zone-file sighting; widens the presence interval."""
-        norm = dnsname.normalize(domain)
+        norm = domain if type(domain) is Name else intern_name(domain)
         found = self._records.get(norm)
         if found is None:
             self._records[norm] = HistoricalRecord(norm, seen_at, seen_at)
@@ -62,7 +64,9 @@ class DZDB:
         self.observe(domain, last_seen)
 
     def lookup(self, domain: str) -> Optional[HistoricalRecord]:
-        return self._records.get(dnsname.normalize(domain))
+        if type(domain) is not Name:
+            domain = intern_name(domain)
+        return self._records.get(domain)
 
     def registered_before(self, domain: str, ts: int) -> bool:
         """Was the domain ever seen in a zone file before ``ts``?

@@ -1,5 +1,12 @@
 """DNS core substrate: names, records, zones, PSL, servers, resolvers."""
 
+from repro.dnscore.interned import (
+    Name,
+    NameTable,
+    configure_interner,
+    default_table,
+    intern_name,
+)
 from repro.dnscore.name import (
     ancestors,
     is_subdomain,
@@ -63,6 +70,7 @@ from repro.dnscore.wire import (
 from repro.errors import DomainNameError
 
 __all__ = [
+    "Name", "NameTable", "intern_name", "default_table", "configure_interner",
     "normalize", "is_valid", "labels", "label_count", "parent", "tld_of",
     "is_subdomain", "strip_wildcard", "ancestors", "join", "registrable_guess",
     "RRType", "ResourceRecord", "RRSet", "SOA", "MONITOR_QTYPES",

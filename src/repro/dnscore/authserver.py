@@ -18,9 +18,24 @@ from __future__ import annotations
 from typing import Callable, Iterable, Optional, Protocol, Tuple
 
 from repro.dnscore import name as dnsname
+from repro.dnscore.interned import intern_name
 from repro.dnscore.message import Query, RCode, Response, noerror, nxdomain, servfail, timeout
 from repro.dnscore.records import RRType, ResourceRecord
 from repro.errors import DNSError
+
+
+def _registrable_guess(qname: str):
+    """Last two labels of ``qname``, interned.
+
+    Query names are normalised at construction, so this is slot reads
+    plus (for subdomain queries) one intern of an already-known name —
+    downstream oracle lookups (``Registry.delegation_at`` etc.) then
+    re-normalise by identity.
+    """
+    name = intern_name(qname)
+    if len(name.labels) <= 2:
+        return name
+    return intern_name(".".join(name.labels[-2:]))
 
 
 class AuthorityBackend(Protocol):
@@ -72,7 +87,7 @@ class TLDAuthority:
                 f"a.nic.{self.tld}. hostmaster.nic.{self.tld}. {serial} "
                 f"7200 900 1209600 300")
             return noerror(query, (record,), served_at=ts)
-        registrable = ".".join(dnsname.labels(qname)[-2:])
+        registrable = _registrable_guess(qname)
         hosts = self._oracle(registrable, ts)
         if hosts is None:
             return nxdomain(query, served_at=ts)
@@ -115,7 +130,7 @@ class TLDAuthority:
         if memo is None:
             if dnsname.tld_of(qname) != self.tld:
                 return Response(query=query, rcode=RCode.REFUSED, served_at=ts)
-            registrable = ".".join(dnsname.labels(qname)[-2:])
+            registrable = _registrable_guess(qname)
             memo = [registrable, self, None, ts]  # self: matches nothing
             self._ns_memo[qname] = memo
         elif memo[3] is None or ts < memo[3]:
@@ -162,7 +177,7 @@ class HostingAuthority:
 
     def lookup(self, query: Query, ts: int) -> Response:
         self.queries_served += 1
-        domain = ".".join(dnsname.labels(query.qname)[-2:])
+        domain = _registrable_guess(query.qname)
         if self._lame is not None and self._lame(domain, ts):
             return timeout(query, served_at=ts)
         rdatas = self._records(domain, query.qtype, ts)

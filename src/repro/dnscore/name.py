@@ -6,67 +6,54 @@ zone is the empty string.  Validation follows RFC 1035 limits (63-octet
 labels, 253-octet names) with LDH (letters-digits-hyphen) label syntax,
 plus ``xn--`` A-labels passing through untouched — the paper's pipeline
 operates on names extracted from certificates, which are A-labels.
+
+Since the interned-name refactor the canonical representation is
+:class:`repro.dnscore.interned.Name` — a process-interned ``str``
+subclass whose labels/TLD/registrable facts are computed once per
+distinct name.  The functions here are thin shims over it, kept so
+string-level callers (and the paper-faithful reading of the code)
+never have to know about interning: they accept ``str`` or ``Name``
+and :func:`normalize` returns the interned ``Name`` (which *is* the
+canonical ``str``).
 """
 
 from __future__ import annotations
 
-import re
-from functools import lru_cache
 from typing import Iterable, List, Tuple
 
+from repro.dnscore.interned import (
+    MAX_LABEL_LENGTH,
+    MAX_NAME_LENGTH,
+    Name,
+    intern_name,
+)
 from repro.errors import DomainNameError
 
-MAX_LABEL_LENGTH = 63
-MAX_NAME_LENGTH = 253
-
-_LABEL_RE = re.compile(r"^(?!-)[a-z0-9-]{1,63}(?<!-)$")
-#: One-shot match for names that are *already* canonical (lower-case,
-#: LDH labels, no trailing dot): the overwhelmingly common case in the
-#: generator and pipeline, handled without splitting into labels.
-_CANONICAL_RE = re.compile(
-    r"^(?=[a-z0-9.-]{1,253}$)"
-    r"(?!-)[a-z0-9-]{1,63}(?<!-)"
-    r"(?:\.(?!-)[a-z0-9-]{1,63}(?<!-))*$")
-_WILDCARD = "*"
+__all__ = [
+    "MAX_LABEL_LENGTH", "MAX_NAME_LENGTH", "Name", "normalize", "is_valid",
+    "labels", "label_count", "parent", "tld_of", "is_subdomain",
+    "strip_wildcard", "ancestors", "join", "split_sld", "registrable_guess",
+    "canonical_order_key",
+]
 
 
-def _check_label(label: str) -> str:
-    if label == _WILDCARD:
-        return label
-    if not _LABEL_RE.match(label):
-        raise DomainNameError(f"invalid DNS label: {label!r}")
-    return label
-
-
-@lru_cache(maxsize=200_000)
-def normalize(name: str) -> str:
+def normalize(name: str) -> Name:
     """Normalise a textual domain name.
 
     Lower-cases, strips one trailing dot, validates each label, and
-    returns the canonical form.  Raises
+    returns the canonical form as the process-interned
+    :class:`~repro.dnscore.interned.Name` (a ``str``).  Raises
     :class:`~repro.errors.DomainNameError` for malformed names.
+    Already-interned inputs return themselves — identity, not a cache
+    lookup.
     """
-    if not isinstance(name, str):
-        raise DomainNameError(f"domain name must be str, got {type(name).__name__}")
-    if _CANONICAL_RE.match(name):
-        return name
-    text = name.strip().lower()
-    if text.endswith("."):
-        text = text[:-1]
-    if text == "":
-        return ""
-    if len(text) > MAX_NAME_LENGTH:
-        raise DomainNameError(f"name exceeds {MAX_NAME_LENGTH} octets: {text[:64]}...")
-    labels = text.split(".")
-    for label in labels:
-        _check_label(label)
-    return ".".join(labels)
+    return intern_name(name)
 
 
 def is_valid(name: str) -> bool:
     """True if ``name`` parses as a syntactically valid domain name."""
     try:
-        normalize(name)
+        intern_name(name)
         return True
     except DomainNameError:
         return False
@@ -74,55 +61,51 @@ def is_valid(name: str) -> bool:
 
 def labels(name: str) -> List[str]:
     """Labels of a normalised name, left to right; root → []."""
-    norm = normalize(name)
-    return norm.split(".") if norm else []
+    return list(intern_name(name).labels)
 
 
 def label_count(name: str) -> int:
-    return len(labels(name))
+    return len(intern_name(name).labels)
 
 
-def parent(name: str) -> str:
+def parent(name: str) -> Name:
     """Immediate parent (``"a.b.c"`` → ``"b.c"``); root's parent is root."""
-    parts = labels(name)
-    return ".".join(parts[1:]) if parts else ""
+    return intern_name(name).parent_name()
 
 
 def tld_of(name: str) -> str:
     """Rightmost label (``"a.b.com"`` → ``"com"``)."""
-    norm = normalize(name)
+    norm = intern_name(name)
     if not norm:
         raise DomainNameError("the root has no TLD")
-    return norm.rsplit(".", 1)[-1]
+    return norm.tld
 
 
 def is_subdomain(name: str, ancestor: str) -> bool:
     """True if ``name`` equals or falls under ``ancestor``."""
-    child = labels(name)
-    anc = labels(ancestor)
+    child = intern_name(name).labels
+    anc = intern_name(ancestor).labels
     if not anc:
         return True
     return len(child) >= len(anc) and child[-len(anc):] == anc
 
-def strip_wildcard(name: str) -> str:
+
+def strip_wildcard(name: str) -> Name:
     """Drop a leading ``*.`` wildcard label (certificate SANs use them)."""
-    norm = normalize(name)
-    if norm.startswith("*."):
-        return norm[2:]
-    return norm
+    return intern_name(name).stripped()
 
 
 def ancestors(name: str) -> Iterable[str]:
     """Yield proper ancestors from the immediate parent up to the TLD."""
-    parts = labels(name)
+    parts = intern_name(name).labels
     for i in range(1, len(parts)):
         yield ".".join(parts[i:])
 
 
-def join(*parts: str) -> str:
+def join(*parts: str) -> Name:
     """Join name fragments (``join("www", "example.com")``)."""
     pieces = [p for p in parts if p not in ("", ".")]
-    return normalize(".".join(pieces))
+    return intern_name(".".join(pieces))
 
 
 def split_sld(name: str, tld: str) -> Tuple[str, str]:
@@ -131,8 +114,8 @@ def split_sld(name: str, tld: str) -> Tuple[str, str]:
     This is the *naive* split; PSL-aware extraction lives in
     :mod:`repro.dnscore.psl`.  Raises if the name is not under ``tld``.
     """
-    norm = normalize(name)
-    tld_norm = normalize(tld)
+    norm = intern_name(name)
+    tld_norm = intern_name(tld)
     if not is_subdomain(norm, tld_norm):
         raise DomainNameError(f"{norm!r} is not under .{tld_norm}")
     remainder = norm[: -(len(tld_norm) + 1)] if tld_norm else norm
@@ -149,7 +132,7 @@ def registrable_guess(name: str) -> str:
     naive guess around lets tests and ablations exercise that failure
     mode explicitly.
     """
-    parts = labels(name)
+    parts = intern_name(name).labels
     if len(parts) < 2:
         raise DomainNameError(f"{name!r} has no registrable part")
     return ".".join(parts[-2:])
@@ -157,4 +140,4 @@ def registrable_guess(name: str) -> str:
 
 def canonical_order_key(name: str) -> Tuple[str, ...]:
     """Sort key for DNSSEC-style canonical ordering (labels reversed)."""
-    return tuple(reversed(labels(name)))
+    return intern_name(name).rlabels

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.dnscore import name as dnsname
+from repro.dnscore.interned import Name, intern_name
 from repro.errors import DomainNameError, PSLError
 
 #: Rules shipped with the library: every gTLD/ccTLD the scenarios use,
@@ -53,6 +53,11 @@ class PublicSuffixList:
         self._exact: Dict[Tuple[str, ...], bool] = {}
         self._wildcards: Dict[Tuple[str, ...], bool] = {}
         self._exceptions: Dict[Tuple[str, ...], bool] = {}
+        #: Rule-set generation, bumped on every :meth:`add_rule`.
+        #: :meth:`Name.registrable` caches results keyed by (PSL
+        #: instance, version), so late rule additions invalidate every
+        #: per-name cache instead of serving stale extractions.
+        self.version = 0
         for rule in rules:
             self.add_rule(rule)
 
@@ -60,6 +65,7 @@ class PublicSuffixList:
         text = rule.strip().lower()
         if not text:
             return
+        self.version += 1
         if text.startswith("!"):
             key = tuple(reversed(text[1:].split(".")))
             self._exceptions[key] = True
@@ -78,7 +84,7 @@ class PublicSuffixList:
         Implements the PSL matching algorithm; the implicit ``*`` rule
         means an unknown TLD still yields a 1-label suffix.
         """
-        return self._suffix_length(tuple(reversed(dnsname.labels(name))))
+        return self._suffix_length(intern_name(name).rlabels)
 
     def _suffix_length(self, reversed_labels: Tuple[str, ...]) -> int:
         """PSL match on pre-split labels (TLD first) — the hot entry."""
@@ -109,44 +115,63 @@ class PublicSuffixList:
 
     def public_suffix(self, name: str) -> str:
         """The public suffix of ``name`` (e.g. ``"co.uk"``)."""
-        labels = dnsname.labels(name)
-        n = self.suffix_length(name)
+        norm = intern_name(name)
+        labels = norm.labels
+        n = self._suffix_length(norm.rlabels)
         if n >= len(labels):
             # The name IS a public suffix (or shorter).
             return ".".join(labels)
         return ".".join(labels[-n:])
 
     def is_public_suffix(self, name: str) -> bool:
-        labels = dnsname.labels(name)
-        return len(labels) <= self.suffix_length(name)
+        norm = intern_name(name)
+        return len(norm.labels) <= self._suffix_length(norm.rlabels)
 
-    def registrable_domain(self, name: str) -> str:
+    def registrable_domain(self, name: str) -> Name:
         """The registered / pay-level domain: public suffix + one label.
 
         Raises :class:`~repro.errors.PSLError` when the name is itself a
         public suffix (no registrable part) — callers in the pipeline
-        treat that as a discard.
+        treat that as a discard.  The heavy lifting (and the per-name
+        cache) lives in :meth:`Name.registrable`.
         """
-        norm = dnsname.strip_wildcard(name)
-        # norm is canonical; split once and share the labels with the
-        # suffix matcher instead of re-deriving them per step.
-        labels = norm.split(".") if norm else []
-        n = self._suffix_length(tuple(reversed(labels)))
-        if len(labels) <= n:
-            raise PSLError(f"{norm!r} is a public suffix; no registrable domain")
-        return ".".join(labels[-(n + 1):])
+        norm = intern_name(name)
+        # No pre-stripping: Name.registrable strips exactly one
+        # wildcard level itself (stripping here too would double-strip
+        # '*.*.com'-shaped names).
+        registrable = norm.registrable(self)
+        if registrable is None:
+            stripped = norm.stripped()
+            if not stripped:
+                raise PSLError("the root name has no public suffix")
+            raise PSLError(
+                f"{stripped!r} is a public suffix; no registrable domain")
+        return registrable
 
-    def registrable_or_none(self, name: str) -> Optional[str]:
+    def registrable_or_none(self, name: str) -> Optional[Name]:
         """Like :meth:`registrable_domain` but returns None on failure."""
+        if type(name) is Name:
+            return name.registrable(self)
         try:
-            return self.registrable_domain(name)
-        except (PSLError, DomainNameError):
+            return intern_name(name).registrable(self)
+        except DomainNameError:
             return None
 
     def split(self, name: str) -> Tuple[str, str]:
-        """Split into (registrable domain, public suffix)."""
-        reg = self.registrable_domain(name)
-        return reg, self.public_suffix(name)
+        """Split into (registrable domain, public suffix).
+
+        One suffix match serves both halves — ``registrable_domain``
+        and ``public_suffix`` each re-deriving the labels and re-running
+        the matcher was pure waste.
+        """
+        norm = intern_name(name).stripped()
+        labels = norm.labels
+        if not labels:
+            raise PSLError("the root name has no public suffix")
+        n = self._suffix_length(norm.rlabels)
+        if len(labels) <= n:
+            raise PSLError(f"{norm!r} is a public suffix; no registrable domain")
+        return ".".join(labels[-(n + 1):]), ".".join(labels[-n:])
 
 
 class BuggyPublicSuffixList(PublicSuffixList):

@@ -15,6 +15,7 @@ import enum
 from typing import FrozenSet, Optional, Tuple
 
 from repro.dnscore import name as dnsname
+from repro.dnscore.interned import Name, intern_name
 from repro.errors import ConfigError
 from repro.simtime.clock import DAY, HOUR
 from repro.simtime.timeline import Timeline
@@ -93,8 +94,10 @@ class DomainLifecycle:
                  campaign: Optional[str] = None,
                  held: bool = False, lame: bool = False,
                  rdap_sync_lag: int = 300) -> None:
-        #: Canonical domain name (normalised on construction).
-        self.domain = dnsname.normalize(domain)
+        #: Canonical domain name (normalised on construction; the
+        #: generator hands over pre-interned Names, so this is usually
+        #: an identity check).
+        self.domain = domain if type(domain) is Name else intern_name(domain)
         self.tld = tld
         self.registrar = registrar
         #: Registration instant (the RDAP creation timestamp).
@@ -125,7 +128,8 @@ class DomainLifecycle:
         self.lame = lame
         #: Seconds after creation until the registry's RDAP shows the object.
         self.rdap_sync_lag = rdap_sync_lag
-        if dnsname.tld_of(self.domain) != self.tld:
+        # self.domain is the interned Name, so the TLD is a cached slot.
+        if self.domain.tld != self.tld or not self.domain.tld:
             raise ConfigError(f"{self.domain} not under .{self.tld}")
         if zone_added_at is not None and zone_added_at < created_at:
             raise ConfigError(f"{self.domain}: zone add precedes creation")

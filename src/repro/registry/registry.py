@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 
 from repro.dnscore import name as dnsname
 from repro.dnscore.authserver import HostingAuthority, TLDAuthority
+from repro.dnscore.interned import Name, intern_name
 from repro.dnscore.records import RRType
 from repro.dnscore.resolver import ResolverPool
 from repro.dnscore.zone import Delegation, ZoneVersion
@@ -71,11 +72,10 @@ class Registry:
                  held: bool = False, lame: bool = False,
                  rdap_sync_lag: Optional[int] = None) -> DomainLifecycle:
         """Create a registration; the delegation publishes at the next tick."""
-        norm = dnsname.normalize(domain)
+        norm = domain if type(domain) is Name else intern_name(domain)
         if norm in self._lifecycles:
             raise RegistrationError(f"{norm} is already registered")
-        # norm is canonical, so the TLD is simply its last label.
-        if norm.rsplit(".", 1)[-1] != self.tld:
+        if norm.tld != self.tld:
             raise RegistrationError(f"{norm} does not belong under .{self.tld}")
         zone_added_at = None if held else self.policy.next_zone_tick(created_at)
         # Timelines are built up front (single-change fast path) so the
@@ -166,17 +166,21 @@ class Registry:
     # -- lookup -----------------------------------------------------------------
 
     def get(self, domain: str) -> DomainLifecycle:
-        norm = dnsname.normalize(domain)
+        norm = domain if type(domain) is Name else intern_name(domain)
         found = self._lifecycles.get(norm)
         if found is None:
             raise UnknownDomainError(f"{norm} is not registered in .{self.tld}")
         return found
 
     def find(self, domain: str) -> Optional[DomainLifecycle]:
-        return self._lifecycles.get(dnsname.normalize(domain))
+        if type(domain) is not Name:
+            domain = intern_name(domain)
+        return self._lifecycles.get(domain)
 
     def __contains__(self, domain: str) -> bool:
-        return dnsname.normalize(domain) in self._lifecycles
+        if type(domain) is not Name:
+            domain = intern_name(domain)
+        return domain in self._lifecycles
 
     def __len__(self) -> int:
         return len(self._lifecycles)
@@ -188,7 +192,9 @@ class Registry:
 
     def delegation_at(self, domain: str, ts: int) -> Optional[FrozenSet[str]]:
         """NS hostnames of ``domain`` in the zone at ``ts`` (None: absent)."""
-        lifecycle = self._lifecycles.get(dnsname.normalize(domain))
+        if type(domain) is not Name:
+            domain = intern_name(domain)
+        lifecycle = self._lifecycles.get(domain)
         if lifecycle is None:
             return None
         return lifecycle.nameservers_at(ts)
@@ -199,7 +205,9 @@ class Registry:
         the registry is no longer mutating (the world is fully
         materialized before measurement starts), which is when the
         authorities built from it are used."""
-        lifecycle = self._lifecycles.get(dnsname.normalize(domain))
+        if type(domain) is not Name:
+            domain = intern_name(domain)
+        lifecycle = self._lifecycles.get(domain)
         if lifecycle is None:
             return None, None
         return lifecycle.nameservers_window_at(ts)
@@ -275,10 +283,10 @@ class RegistryGroup:
         return self.get(dnsname.tld_of(domain))
 
     def find_lifecycle(self, domain: str) -> Optional[DomainLifecycle]:
-        norm = dnsname.normalize(domain)
+        norm = domain if type(domain) is Name else intern_name(domain)
         if not norm:
             return None
-        registry = self._registries.get(norm.rsplit(".", 1)[-1])
+        registry = self._registries.get(norm.tld)
         if registry is None:
             return None
         return registry.find(norm)

@@ -225,7 +225,7 @@ class ScanEngine:
             raise ScanError(f"{domain} is already being scanned")
         grid_len = self.scheduler.add_domain(domain, start)
         builder = _ReportBuilder(
-            domain, dnsname.tld_of(domain), start,
+            domain, domain.tld, start,
             self.config.probe_interval, self.config.duration, grid_len)
         builder.worker = self.workers[self.pool.worker_index_for(domain)]
         self._builders[domain] = builder

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, List, Optional, Sequence
 
+from repro.dnscore.interned import Name, intern_name
 from repro.simtime.rng import RngStream
 
 _ADJECTIVES = (
@@ -120,26 +121,32 @@ class NameGenerator:
         noun = self._rng.choice(_NOUNS)
         return f"{noun}{self._rng.randint(100, 99999)}x{self._suffix()}.{tld}"
 
-    def by_style(self, style: str, tld: str, campaign_tag: str = "cmp") -> str:
-        """Dispatch by style name (used by actor profiles)."""
+    def by_style(self, style: str, tld: str, campaign_tag: str = "cmp") -> Name:
+        """Dispatch by style name (used by actor profiles).
+
+        Returns the *interned* name: every generated domain enters the
+        process :class:`~repro.dnscore.interned.NameTable` here, so all
+        downstream normalisation (registration, certificates, RDAP,
+        probes) is an identity check instead of string work.
+        """
         if style == "dictionary":
-            return self.dictionary(tld)
+            return intern_name(self.dictionary(tld))
         if style == "startup":
-            return self.startup(tld)
+            return intern_name(self.startup(tld))
         if style == "dga":
-            return self.dga(tld)
+            return intern_name(self.dga(tld))
         if style == "typosquat":
-            return self.typosquat(tld)
+            return intern_name(self.typosquat(tld))
         if style == "bulk":
-            return self.bulk(tld, campaign_tag)
+            return intern_name(self.bulk(tld, campaign_tag))
         if style == "parked":
-            return self.parked(tld)
+            return intern_name(self.parked(tld))
         raise ValueError(f"unknown name style: {style!r}")
 
 
-def subdomain_names(rng: RngStream, domain: str, count: int) -> List[str]:
+def subdomain_names(rng: RngStream, domain: str, count: int) -> List[Name]:
     """Plausible service subdomains for SAN padding on certificates."""
     pool = ["mail", "www2", "api", "shop", "app", "cdn", "m", "portal",
             "login", "dev", "staging", "blog"]
     rng.shuffle(pool)
-    return [f"{label}.{domain}" for label in pool[:count]]
+    return [intern_name(f"{label}.{domain}") for label in pool[:count]]
