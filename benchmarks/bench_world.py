@@ -14,6 +14,7 @@ Run standalone for the JSON report (also written to
     PYTHONPATH=src python benchmarks/bench_world.py                 # 1/500
     PYTHONPATH=src python benchmarks/bench_world.py --inv-scale 200
     PYTHONPATH=src python benchmarks/bench_world.py --inv-scale 1 --pipeline
+    PYTHONPATH=src python benchmarks/bench_world.py --jobs 4        # multi-core
 
 ``--check-baseline`` compares the measured build time against the
 committed ``BENCH_worldgen.json`` and exits non-zero on a >2x
@@ -49,9 +50,10 @@ SEED_BASELINE = {"inv_scale": 500, "seed": 7, "build_sec": 2.317,
 
 def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
               include_cctld: bool = False, pipeline: bool = False,
-              fingerprint: bool = True, rounds: int = 1) -> dict:
+              fingerprint: bool = True, rounds: int = 1,
+              jobs: int = 1) -> dict:
     config = ScenarioConfig(seed=seed, scale=1.0 / inv_scale,
-                            include_cctld=include_cctld)
+                            include_cctld=include_cctld, parallel=jobs)
     build_sec = None
     for _ in range(max(1, rounds)):
         start = time.perf_counter()
@@ -63,6 +65,7 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
         "inv_scale": inv_scale,
         "seed": seed,
         "include_cctld": include_cctld,
+        "jobs": jobs,
         "registrations": regs,
         "certstream_events": world.certstream.event_count(),
         "build_sec": round(build_sec, 4),
@@ -73,7 +76,7 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
         "peak_rss_mb": round(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
     }
-    if (SEED_BASELINE["inv_scale"] == inv_scale
+    if (jobs == 1 and SEED_BASELINE["inv_scale"] == inv_scale
             and SEED_BASELINE["seed"] == seed
             and SEED_BASELINE["include_cctld"] == include_cctld):
         report["seed_build_sec"] = SEED_BASELINE["build_sec"]
@@ -133,18 +136,27 @@ def main() -> None:
                         help="build repeats, best-of-N timing (default 1; "
                              "3 under --check-baseline so noisy runners "
                              "time a warm build)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for world generation "
+                             "(default 1 = serial, 0 = one per core; the "
+                             "fingerprint is identical for any value)")
     args = parser.parse_args()
     rounds = args.rounds if args.rounds else (3 if args.check_baseline else 1)
     report = run_build(inv_scale=args.inv_scale, seed=args.seed,
                        include_cctld=args.cctld, pipeline=args.pipeline,
-                       fingerprint=not args.no_fingerprint, rounds=rounds)
+                       fingerprint=not args.no_fingerprint, rounds=rounds,
+                       jobs=args.jobs)
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.check_baseline:
         # Imported lazily: conftest pulls in pytest only when present.
         from conftest import BASELINE_DIR, check_against_baseline
+        # Timing compares only at the committed measurement point (which
+        # includes the jobs count); the fingerprint check below runs for
+        # ANY --jobs value at the canonical scale — multi-core builds
+        # must reproduce the committed digest bit for bit.
         problems = check_against_baseline(
             "worldgen", report, lower_is_better=("build_sec",),
-            scale_keys=("inv_scale", "seed", "include_cctld"))
+            scale_keys=("inv_scale", "seed", "include_cctld", "jobs"))
         committed_path = BASELINE_DIR / "BENCH_worldgen.json"
         same_point = False
         if committed_path.exists():
@@ -166,7 +178,7 @@ def main() -> None:
         else:
             print("baseline check ok")
     elif (not args.no_baseline and args.inv_scale == INV_SCALE
-          and args.seed == SEED and not args.cctld):
+          and args.seed == SEED and not args.cctld and args.jobs == 1):
         # Only the canonical measurement point may refresh the committed
         # baseline — the same point the CI check gates on.
         from conftest import write_baseline  # benchmarks/ on sys.path

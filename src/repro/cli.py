@@ -70,6 +70,17 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0, rejected with a clean message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0: {value}")
+    return value
+
+
 def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7,
                         help="master seed (default 7)")
@@ -78,13 +89,19 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                         help="run at 1/N of the paper's volumes (default 500)")
     parser.add_argument("--no-cctld", action="store_true",
                         help="skip the .nl ground-truth registry")
+    parser.add_argument("--jobs", type=_nonnegative_int, default=1,
+                        metavar="N",
+                        help="worker processes for world generation "
+                             "(default 1 = serial, 0 = one per core; the "
+                             "built world is bit-identical for any value)")
 
 
 def _world_from(args: argparse.Namespace, cctld_scale: Optional[float] = None):
     return build_world(ScenarioConfig(
         seed=args.seed, scale=1 / args.scale,
         include_cctld=not args.no_cctld,
-        cctld_scale=cctld_scale))
+        cctld_scale=cctld_scale,
+        parallel=args.jobs))
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
@@ -110,7 +127,8 @@ def cmd_feed(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = ScenarioConfig(
         seed=args.seed, scale=1 / args.scale, include_cctld=False,
-        tlds=["com", "net", "xyz", "online", "site", "top"])
+        tlds=["com", "net", "xyz", "online", "site", "top"],
+        parallel=args.jobs)
     points = rzu_sweep(config, DEFAULT_CADENCES)
     print(rzu_report(points).render())
     return 0

@@ -75,6 +75,18 @@ class DarkDNSPipeline:
         self.monitor = None
 
     def run(self) -> PipelineResult:
+        """Execute all five steps against the bound world.
+
+        Returns:
+            The :class:`~repro.core.records.PipelineResult` holding
+            candidates, RDAP outcomes, monitor reports, validations,
+            and the confirmed/RDAP-failed transient sets — everything
+            the §4 analyses consume.
+
+        Each stage also publishes to its broker topic as it runs, and
+        an attached ``serve`` hook is pumped once the public feed is
+        on the wire.
+        """
         world = self.world
         config = self.config
         window = world.window

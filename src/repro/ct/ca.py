@@ -27,6 +27,7 @@ from repro.ct.ctlog import CTLog, LogEntry
 from repro.dnscore.interned import intern_name
 from repro.errors import ValidationError
 from repro.simtime.clock import DAY
+from repro.simtime.rng import WeightedSampler
 
 
 #: DV cached-validation reuse limit (CA/B BR §4.2.1): 398 days.
@@ -181,3 +182,24 @@ def pick_ca(rng, cas: List[CertificateAuthority],
     """Weighted CA choice by market share (aligned by index)."""
     weights = [p.market_share for p in profiles[:len(cas)]]
     return rng.weighted_choice(cas, weights)
+
+
+def ca_index_sampler(count: Optional[int] = None,
+                     profiles: Tuple[CAProfile, ...] = CA_PROFILES):
+    """Market-share sampler over CA *indices* into ``profiles``.
+
+    Args:
+        count: number of live CAs (defaults to all profiles).
+        profiles: the static CA descriptions supplying the weights.
+
+    Returns:
+        A :class:`~repro.simtime.rng.WeightedSampler` whose ``pick``
+        consumes one draw and yields an index — draw-identical to
+        sampling the CA objects directly, but the sampler (and its
+        picks) contain no CA state, so worker processes can decide
+        "which CA holds this DV token" without holding a CA: indices
+        travel as plain ints and the parent resolves them against its
+        live CA list.
+    """
+    n = len(profiles) if count is None else count
+    return WeightedSampler(range(n), [p.market_share for p in profiles[:n]])

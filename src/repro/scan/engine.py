@@ -29,6 +29,10 @@ The engine is cooperative and deterministic — no threads; "workers"
 are the per-resolver cache/pinning domains, exactly like the paper's
 16-worker deployment, and simulated time advances with the queue.
 
+Paper anchor: §3 (the measurement methodology) — 10-minute probes over
+48 hours per CT-detected candidate with a 16-worker ZDNS-style fleet;
+``docs/scan.md`` walks the architecture.
+
 A property-based test asserts ``ScanEngine`` produces
 :class:`~repro.core.records.MonitorReport` objects *identical* to
 :class:`~repro.core.monitor.LoopMonitor` under default configuration
@@ -219,7 +223,11 @@ class ScanEngine:
     # -- admission -------------------------------------------------------------
 
     def add_domain(self, domain: str, start: int) -> None:
-        """Schedule one domain's probe grid beginning at ``start``."""
+        """Schedule one domain's probe grid beginning at ``start``.
+
+        Raises :class:`~repro.errors.ScanError` if the domain is
+        already scheduled; reports come back from :meth:`run`.
+        """
         domain = dnsname.normalize(domain)
         if domain in self._builders:
             raise ScanError(f"{domain} is already being scanned")
@@ -234,7 +242,15 @@ class ScanEngine:
     # -- monitor-strategy contract ----------------------------------------------
 
     def observe(self, domain: str, start: int) -> MonitorReport:
-        """Scan one domain to completion (the ``make_monitor`` contract)."""
+        """Scan one domain to completion (the ``make_monitor`` contract).
+
+        Args:
+            domain: the domain to monitor (any spelling).
+            start: the first probe instant (usually CT detection time).
+
+        Returns:
+            The finished :class:`MonitorReport` (memoised per domain).
+        """
         domain = dnsname.normalize(domain)
         report = self._reports.get(domain)
         if report is not None:
@@ -244,7 +260,15 @@ class ScanEngine:
         return self._reports[domain]
 
     def observe_all(self, starts: Mapping[str, int]) -> Dict[str, MonitorReport]:
-        """Scan a whole batch through the shared queue; the bulk path."""
+        """Scan a whole batch through the shared queue; the bulk path.
+
+        Args:
+            starts: ``{domain: first-probe instant}`` for every domain
+                to monitor (already-scheduled domains are not re-added).
+
+        Returns:
+            ``{domain (as passed): finished MonitorReport}``.
+        """
         for domain, start in starts.items():
             if dnsname.normalize(domain) not in self._builders:
                 self.add_domain(domain, start)
@@ -465,6 +489,7 @@ class ScanEngine:
 
     @property
     def reports(self) -> Dict[str, MonitorReport]:
+        """Finished reports so far, keyed by canonical domain."""
         return dict(self._reports)
 
     def snapshot(self) -> Dict[str, object]:

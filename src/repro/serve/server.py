@@ -18,6 +18,12 @@ Driving model (cooperative, deterministic — no threads):
 
 ``snapshot()`` returns the metrics dict the acceptance criteria and
 benchmarks print.
+
+Paper anchor: §5 (operational considerations) — the authors argue
+rapid zone update is only useful if its output can be *distributed* to
+consumers with low latency; this subsystem is that distribution tier
+over the pipeline's public NRD feed ("zonestream").  See
+``docs/serve.md`` for the architecture walk-through.
 """
 
 from __future__ import annotations
@@ -108,12 +114,14 @@ class FeedServer:
                     self.fanout.dispatch(record, [client_id], now)
 
     def unsubscribe(self, client_id: str) -> None:
+        """Deregister a client and discard its queued deliveries."""
         self.subscriptions.unsubscribe(client_id)
         self.fanout.remove_client(client_id)
         self.limiter.forget(client_id)
 
     @property
     def client_count(self) -> int:
+        """Number of currently subscribed clients."""
         return len(self.subscriptions)
 
     # -- ingest ---------------------------------------------------------------
@@ -122,9 +130,14 @@ class FeedServer:
                enqueue_at: Optional[int] = None) -> int:
         """Publish one record into the log and the matching queues.
 
-        Returns the number of client queues that accepted it.  The
-        enqueue timestamp defaults to the record's observation time, so
-        delivery lag measures observation → consumption.
+        Args:
+            record: the feed record to distribute.
+            enqueue_at: delivery-queue timestamp; defaults to the
+                record's observation time, so delivery lag measures
+                observation → consumption.
+
+        Returns:
+            The number of client queues that accepted the record.
         """
         at = record.seen_at if enqueue_at is None else enqueue_at
         self.metrics.published.inc()
@@ -225,6 +238,7 @@ class FeedServer:
 
     @property
     def replay_skipped(self) -> int:
+        """Malformed JSONL lines skipped across all replay() calls."""
         return self._replay_skipped
 
     # -- delivery -------------------------------------------------------------

@@ -24,7 +24,9 @@ from repro.simtime.clock import (
 from repro.simtime.events import EventHandle, EventLoop, PeriodicTask
 from repro.simtime.rng import (
     RngStream,
+    CountingStream,
     SeedBank,
+    StreamBank,
     WeightedSampler,
     derive_seed,
     spawn,
@@ -40,7 +42,8 @@ __all__ = [
     "day_floor", "days", "hours", "isoformat", "minutes", "month_key",
     "parse_duration", "seconds", "to_datetime", "utc",
     "EventHandle", "EventLoop", "PeriodicTask",
-    "RngStream", "SeedBank", "WeightedSampler", "derive_seed", "spawn",
+    "CountingStream", "RngStream", "SeedBank", "StreamBank",
+    "WeightedSampler", "derive_seed", "spawn",
     "stable_bucket", "stable_hash01",
     "BooleanTimeline", "Timeline", "merge_change_times",
 ]

@@ -7,6 +7,15 @@ batches for bulk registrations.  Generators are deterministic functions
 of their RNG stream and guarantee global uniqueness via an embedded
 sequence component, so registries never see duplicate registrations
 within a scenario.
+
+Paper anchor: §4.3's abuse-kind populations (phishing typosquats,
+DGA-style bulk spam, numbered card-fraud batches) are what these
+styles make visibly distinct in the reproduced feeds and tables.
+
+A generator's RNG stream *and* its sequence counter advance with every
+name, which is why a TLD's months cannot be split across worker
+processes in the multi-core world build — the generator is a per-TLD
+serial resource (see ``docs/determinism.md``).
 """
 
 from __future__ import annotations
@@ -81,7 +90,8 @@ class NameGenerator:
     # -- styles ---------------------------------------------------------------
 
     def dictionary(self, tld: str) -> str:
-        """Ordinary, human-chosen compound (``brightriver7.com``)."""
+        """Ordinary, human-chosen compound (``brightriver7.com``);
+        consumes three RNG choices."""
         adjective = self._rng.choice(_ADJECTIVES)
         noun = self._rng.choice(_NOUNS)
         joiner = self._rng.choice(_JOINERS)

@@ -13,12 +13,13 @@ from __future__ import annotations
 
 import gc
 import hashlib
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bus.broker import Broker
-from repro.ct.ca import CA_PROFILES, CertificateAuthority
+from repro.ct.ca import CA_PROFILES, CertificateAuthority, ca_index_sampler
 from repro.ct.certstream import CertstreamFeed
 from repro.ct.ctlog import CTLog
 from repro.czds.archive import SnapshotArchive
@@ -31,9 +32,9 @@ from repro.intel.nod import NODFeed
 from repro.registry.lifecycle import DomainLifecycle, RemovalReason
 from repro.registry.policy import DEFAULT_POLICIES, policy_for
 from repro.registry.registrar import TakedownModel
-from repro.registry.registry import Registry, RegistryGroup
+from repro.registry.registry import Registry, RegistryGroup, lifecycle_rows
 from repro.simtime.clock import DAY, HOUR, MINUTE, PAPER_WINDOW, Window, day_floor
-from repro.simtime.rng import RngStream, SeedBank, WeightedSampler
+from repro.simtime.rng import RngStream, StreamBank, WeightedSampler
 from repro.workload import calibration as cal
 from repro.workload.actors import (
     ActorProfile,
@@ -90,12 +91,20 @@ class ScenarioConfig:
     snapshot_interval: int = DAY
     ns_change_prob: float = cal.NS_CHANGE_PROB
     lame_prob: float = cal.LAME_PROB
+    #: Worker processes for per-TLD world generation: 1 = serial
+    #: (in-process), N > 1 = a pool of N, 0 = one per CPU core.  Any
+    #: value produces the bit-identical world (``world_fingerprint`` is
+    #: invariant — see ``docs/determinism.md``); this knob only trades
+    #: processes for wall-clock.
+    parallel: int = 1
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
             raise ConfigError("scale must be in (0, 1]")
         if not 0 <= self.campaign_fraction <= 1:
             raise ConfigError("campaign_fraction must be in [0, 1]")
+        if self.parallel < 0:
+            raise ConfigError("parallel must be >= 0 (0 = one per core)")
 
 
 @dataclass
@@ -200,7 +209,7 @@ def _decorate_plan(plan: RegistrationPlan, rng: RngStream,
 
 
 def _plan_month_for_tld(config: ScenarioConfig, targets: TLDTargets,
-                        month: str, bank: SeedBank,
+                        month: str, bank: StreamBank,
                         namegen: NameGenerator
                         ) -> Tuple[List[RegistrationPlan], List[GhostCertPlan]]:
     rng = bank.stream("gen", targets.tld, month)
@@ -330,6 +339,275 @@ def _execute_registration(plan: RegistrationPlan, registry: Registry,
     return lifecycle
 
 
+# ---------------------------------------------------------------------------
+# Per-TLD population (shared by the serial and multi-core builds)
+# ---------------------------------------------------------------------------
+
+#: Builder statistics accumulated during generation (merged additively
+#: across per-TLD shards, so every key must be a plain counter).
+_STAT_KEYS: Tuple[str, ...] = (
+    "registrations", "fast_takedowns", "ghost_certs", "held_domains",
+    "cert_requests", "cert_rejections", "baseline",
+)
+
+#: Market-share sampler over CA *indices* — one ``random()`` draw per
+#: pick, draw-identical to sampling the CA objects, but the result (an
+#: int) crosses process boundaries for free.
+_CA_INDICES = ca_index_sampler()
+
+#: A certificate request gathered during generation:
+#: ``(request_at, domain, extra_sans | None, pinned_ca_index | None)``.
+CertEvent = Tuple[int, str, Optional[Tuple[str, ...]], Optional[int]]
+
+
+def capick_draw_counts(config: ScenarioConfig,
+                       targets: Dict[str, TLDTargets]) -> Dict[str, int]:
+    """Per-TLD draw counts on the shared ``capick`` CA-pick stream.
+
+    Args:
+        config: the scenario being built (ghost/held toggles gate draws).
+        targets: the (already filtered) per-TLD generation targets.
+
+    Returns:
+        ``{tld: number of capick draws}`` — exactly the draws
+        :func:`_populate_tld` will consume for that TLD.
+
+    This is the *counting pass* of the multi-core build: every ghost
+    certificate and every held domain pins its CA with exactly one
+    draw from the one stream that is shared across TLDs, and both
+    populations are pure functions of the calibrated targets (their
+    stochastic rounding uses :func:`~repro.simtime.rng.stable_hash01`,
+    not the stream).  A worker building TLD *i* therefore fast-forwards
+    a fresh capick stream by the summed counts of all TLDs before it in
+    canonical order and lands on the exact state the serial build would
+    have handed it.  ``tests/test_workload.py`` audits this accounting
+    against a :class:`~repro.simtime.rng.CountingStream`.
+    """
+    counts: Dict[str, int] = {}
+    for tld, tld_targets in targets.items():
+        draws = 0
+        if config.ghost_certs:
+            draws += sum(tld_targets.ghost_count(m) for m, _ in cal.MONTHS)
+        if config.held_domains:
+            draws += sum(tld_targets.held_count(m) for m, _ in cal.MONTHS)
+        counts[tld] = draws
+    return counts
+
+
+def _populate_tld(config: ScenarioConfig, tld_targets: TLDTargets,
+                  bank: StreamBank, registry: Registry, dzdb: DZDB,
+                  seed_token: Callable[[int, str, int], None],
+                  cert_events: List[CertEvent],
+                  stats: Dict[str, int]) -> None:
+    """Generate one gTLD's three-month population onto the substrates.
+
+    Baseline zone population, monthly NRD + fast-takedown plans (with
+    execution against ``registry``), ghost-certificate DV tokens, and
+    held domains — the full per-TLD slice of the world.  All randomness
+    comes from TLD-scoped streams of ``bank`` except the CA picks,
+    which draw from the shared ``("capick",)`` stream; callers running
+    TLDs out of process must fast-forward that stream first (see
+    :func:`capick_draw_counts`).
+
+    ``seed_token(ca_index, domain, validated_at)`` decouples DV-token
+    placement from live CA objects so the same code runs in worker
+    processes (which only record the index).
+    """
+    tld = tld_targets.tld
+    namegen = NameGenerator(bank.stream("names", tld))
+    exec_rng = bank.stream("exec", tld)
+
+    # Baseline zone population (pre-window, establishes snapshot 0).
+    n_base = int(round(tld_targets.total_nrd * config.baseline_fraction))
+    base_gen = NameGenerator(bank.stream("names", tld, "base"), namespace="b-")
+    base_rng = bank.stream("gen", tld, "base")
+    for _ in range(n_base):
+        profile = pick_profile(base_rng, BENIGN_PROFILES)
+        created = config.window.start - int(base_rng.uniform(5 * DAY, 300 * DAY))
+        domain = base_gen.by_style(profile.name_style, tld)
+        registry.register(
+            domain, created, profile.registrar_mix.pick(base_rng).name,
+            ns_hosts=profile.dns_mix.pick(base_rng).nameservers_for(domain),
+            a_addrs=("198.18.63.1",), actor=profile.name)
+        dzdb.observe(domain, created + DAY)
+        stats["baseline"] += 1
+
+    for month, _days in cal.MONTHS:
+        plans, ghosts = _plan_month_for_tld(
+            config, tld_targets, month, bank, namegen)
+        for plan in plans:
+            lifecycle = _execute_registration(plan, registry, exec_rng)
+            stats["registrations"] += 1
+            if plan.fast_takedown:
+                stats["fast_takedowns"] += 1
+            if plan.has_history:
+                # Re-registered dropped name: it carries zone-file
+                # history, which is what DZDB sees for §4.2.
+                dropped = plan.created_at - int(
+                    exec_rng.uniform(60 * DAY, 500 * DAY))
+                dzdb.add_interval(
+                    plan.domain,
+                    dropped - int(exec_rng.uniform(30 * DAY, 300 * DAY)),
+                    dropped)
+            if plan.cert is not None and lifecycle.zone_added_at is not None:
+                request_at = lifecycle.zone_added_at + plan.cert.delay_after_publish
+                cert_events.append((request_at, plan.domain,
+                                    plan.cert.extra_sans or None, None))
+        for ghost in ghosts:
+            ca_index = _CA_INDICES.pick(bank.stream("capick"))
+            seed_token(ca_index, ghost.domain, ghost.validated_at)
+            if ghost.in_dzdb:
+                dzdb.add_interval(ghost.domain, ghost.first_seen,
+                                  ghost.last_seen)
+            cert_events.append((ghost.requested_at, ghost.domain, None,
+                                ca_index))
+            stats["ghost_certs"] += 1
+
+    # Held (serverHold) domains: old registrations that went dark
+    # before the window but still hold valid DV tokens.
+    if config.held_domains:
+        held_gen = NameGenerator(bank.stream("names", tld, "held"),
+                                 namespace="h-")
+        held_rng = bank.stream("gen", tld, "held")
+        n_held = sum(tld_targets.held_count(m) for m, _ in cal.MONTHS)
+        for _ in range(n_held):
+            profile = pick_profile(held_rng, BENIGN_PROFILES)
+            created = config.window.start - int(
+                held_rng.uniform(60 * DAY, 350 * DAY))
+            domain = held_gen.by_style(profile.name_style, tld)
+            provider = profile.dns_mix.pick(held_rng)
+            registry.register(
+                domain, created, profile.registrar_mix.pick(held_rng).name,
+                ns_hosts=provider.nameservers_for(domain),
+                a_addrs=("198.18.63.2",), dns_provider=provider.name,
+                actor=profile.name)
+            hold_at = config.window.start - int(
+                held_rng.uniform(5 * DAY, 50 * DAY))
+            registry.place_hold(domain, max(hold_at, created + DAY))
+            dzdb.add_interval(domain, created + DAY, hold_at)
+            ca_index = _CA_INDICES.pick(bank.stream("capick"))
+            seed_token(ca_index, domain, max(created + 2 * DAY,
+                                             hold_at - 300 * DAY))
+            request_at = config.window.start + held_rng.randrange(
+                config.window.duration)
+            cert_events.append((request_at, domain, None, ca_index))
+            stats["held_domains"] += 1
+
+
+# ---------------------------------------------------------------------------
+# Multi-core build: per-TLD worker shards + canonical-order merge
+# ---------------------------------------------------------------------------
+
+def _build_tld_shard(payload: Tuple[ScenarioConfig, TLDTargets, int]):
+    """Worker entry point: build one TLD against private substrates.
+
+    Runs in a pool process.  Reconstructs the scenario's stream bank
+    from the master seed, fast-forwards the shared capick stream to
+    this TLD's precomputed offset, populates a private registry/DZDB,
+    and returns everything as compact picklable arrays — registration
+    rows, dirty zone ticks, DZDB intervals, DV-token seeds (by CA
+    index), certificate-request events, and counters.  No lifecycle,
+    CA, or timeline object crosses the process boundary.
+    """
+    config, tld_targets, capick_offset = payload
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        # Same rationale as the parent's _gc_paused: everything this
+        # worker allocates stays live until the shard is pickled back,
+        # so cyclic collections only re-scan a growing heap.  The
+        # process exits right after, so no freeze/restore dance.
+        gc.disable()
+    try:
+        configure_interner(4 * tld_targets.total_nrd + 10_000)
+        bank = StreamBank(config.seed)
+        bank.stream("capick").fast_forward(capick_offset)
+        registry = Registry(policy_for(tld_targets.tld))
+        dzdb = DZDB()
+        tokens: List[Tuple[int, str, int]] = []
+        cert_events: List[CertEvent] = []
+        stats = dict.fromkeys(_STAT_KEYS, 0)
+        _populate_tld(
+            config, tld_targets, bank, registry, dzdb,
+            lambda index, domain, ts: tokens.append((index, domain, ts)),
+            cert_events, stats)
+        return (tld_targets.tld, lifecycle_rows(registry),
+                tuple(registry.dirty_tick_indices()), dzdb.export_rows(),
+                tokens, cert_events, stats)
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _resolve_jobs(parallel: int, n_tlds: int) -> int:
+    """Effective worker count: 0 → one per core, capped by TLD count."""
+    if parallel == 0:
+        parallel = os.cpu_count() or 1
+    return max(1, min(parallel, n_tlds))
+
+
+def _merge_shards(config: ScenarioConfig, targets: Dict[str, TLDTargets],
+                  jobs: int, registries: RegistryGroup, dzdb: DZDB,
+                  seed_token: Callable[[int, str, int], None],
+                  cert_events: List[CertEvent],
+                  stats: Dict[str, int]) -> None:
+    """Build every gTLD in a process pool and merge the shards.
+
+    Shard granularity is one TLD (streams like the per-TLD name
+    generator advance across months, so months of one TLD cannot split
+    across workers), which also bounds any single result pickle by the
+    largest TLD's population.
+
+    Lifecycle rows — the bulk of the merge — are materialized the
+    moment a shard arrives, so small TLDs merge while the largest is
+    still building; that is safe because each shard owns its whole
+    registry (per-registry insertion order stays canonical no matter
+    when the shard lands).  Everything whose *scenario-global* order
+    could otherwise depend on worker timing — DZDB intervals, DV-token
+    seeds, counters — is buffered and applied in canonical TLD order at
+    the end, so the built world is identical run to run and to the
+    serial build, byte for byte.  (Certificate events need no buffering:
+    the builder sorts them on the unique ``(ts, domain)`` key before
+    executing.)
+    """
+    import multiprocessing
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    counts = capick_draw_counts(config, targets)
+    payloads = {}
+    offset = 0
+    for tld, tld_targets in sorted(targets.items()):
+        payloads[tld] = (config, tld_targets, offset)
+        offset += counts[tld]
+    # Largest shards first: the biggest TLD bounds the worker phase, so
+    # it must start immediately (LPT scheduling); fork keeps worker
+    # start-up (re-import, re-calibration) off the critical path where
+    # the platform allows it.
+    submission = sorted(payloads, key=lambda t: targets[t].total_nrd,
+                        reverse=True)
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    deferred = {}
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        pending = {pool.submit(_build_tld_shard, payloads[tld])
+                   for tld in submission}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                (tld, rows, dirty_ticks, dzdb_rows, tokens, shard_events,
+                 shard_stats) = future.result()
+                registries.get(tld).register_many(rows, dirty_ticks)
+                cert_events.extend(shard_events)
+                deferred[tld] = (dzdb_rows, tokens, shard_stats)
+    for tld in sorted(deferred):
+        dzdb_rows, tokens, shard_stats = deferred[tld]
+        dzdb.merge_rows(dzdb_rows)
+        for ca_index, domain, validated_at in tokens:
+            seed_token(ca_index, domain, validated_at)
+        for key, value in shard_stats.items():
+            stats[key] += value
+
+
 @contextmanager
 def _gc_paused():
     """Suspend the cyclic GC while a world is materialised.
@@ -384,14 +662,33 @@ def _gc_paused():
 
 
 def build_world(config: Optional[ScenarioConfig] = None) -> World:
-    """Construct and populate a scenario world (see module docstring)."""
+    """Construct and populate a scenario world.
+
+    Args:
+        config: scenario knobs (seed, scale, TLD subset, ablation
+            toggles, ``parallel`` worker count); defaults to
+            ``ScenarioConfig()`` — the 1/500-scale paper window.
+
+    Returns:
+        A fully wired :class:`World`: per-TLD registries populated with
+        three months of calibrated registration activity, CT logs fed
+        by the scenario's CAs, the snapshot archive, DZDB history,
+        blocklists, the NOD feed, and a message broker.
+
+    The build is deterministic in ``config.seed`` — and *only* the
+    seed: :func:`world_fingerprint` is bit-identical for any
+    ``parallel`` setting, so the multi-core build is a pure wall-clock
+    lever (the contract and its mechanics live in
+    ``docs/determinism.md``).  The cyclic GC is paused while the world
+    materialises and the finished heap is frozen; see :func:`_gc_paused`.
+    """
     with _gc_paused():
         return _build_world(config)
 
 
 def _build_world(config: Optional[ScenarioConfig]) -> World:
     config = config if config is not None else ScenarioConfig()
-    bank = SeedBank(config.seed)
+    bank = StreamBank(config.seed)
     targets = cal.build_targets(config.scale)
     if config.tlds is not None:
         unknown = set(config.tlds) - set(targets)
@@ -415,7 +712,6 @@ def _build_world(config: Optional[ScenarioConfig]) -> World:
     logs = [CTLog("argon2024", merge_delay=25),
             CTLog("xenon2024", merge_delay=40),
             CTLog("nimbus2024", merge_delay=60)]
-    world_stub: Dict[str, World] = {}
 
     def exists(domain: str, ts: int) -> bool:
         lifecycle = registries.find_lifecycle(domain)
@@ -425,103 +721,35 @@ def _build_world(config: Optional[ScenarioConfig]) -> World:
                                 [logs[i % len(logs)]],
                                 validation_delay=5 + 5 * i)
            for i, profile in enumerate(CA_PROFILES)]
-    ca_weights = [p.market_share for p in CA_PROFILES]
-    ca_sampler = WeightedSampler(cas, ca_weights)
+
+    def seed_token(ca_index: int, domain: str, validated_at: int) -> None:
+        cas[ca_index].seed_token(domain, validated_at)
 
     dzdb = DZDB()
-    stats: Dict[str, int] = {
-        "registrations": 0, "fast_takedowns": 0, "ghost_certs": 0,
-        "held_domains": 0, "cert_requests": 0, "cert_rejections": 0,
-        "baseline": 0,
-    }
+    stats: Dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
 
     # Cert request events gathered first, executed in time order so the
     # CT logs incorporate entries monotonically.  Ghost/held requests pin
-    # the CA holding the cached DV token; ordinary requests pick a CA by
-    # market share at issuance time.
-    cert_events: List[Tuple[int, str, Optional[Tuple[str, ...]],
-                            Optional[CertificateAuthority]]] = []
+    # the CA (by index) holding the cached DV token; ordinary requests
+    # pick a CA by market share at issuance time.
+    cert_events: List[CertEvent] = []
 
     # --- gTLD populations -------------------------------------------------------
-    for tld, tld_targets in sorted(targets.items()):
-        registry = registries.get(tld)
-        namegen = NameGenerator(bank.stream("names", tld))
-        exec_rng = bank.stream("exec", tld)
-
-        # Baseline zone population (pre-window, establishes snapshot 0).
-        n_base = int(round(tld_targets.total_nrd * config.baseline_fraction))
-        base_gen = NameGenerator(bank.stream("names", tld, "base"), namespace="b-")
-        base_rng = bank.stream("gen", tld, "base")
-        for _ in range(n_base):
-            profile = pick_profile(base_rng, BENIGN_PROFILES)
-            created = config.window.start - int(base_rng.uniform(5 * DAY, 300 * DAY))
-            domain = base_gen.by_style(profile.name_style, tld)
-            registry.register(
-                domain, created, profile.registrar_mix.pick(base_rng).name,
-                ns_hosts=profile.dns_mix.pick(base_rng).nameservers_for(domain),
-                a_addrs=("198.18.63.1",), actor=profile.name)
-            dzdb.observe(domain, created + DAY)
-            stats["baseline"] += 1
-
-        for month, _days in cal.MONTHS:
-            plans, ghosts = _plan_month_for_tld(
-                config, tld_targets, month, bank, namegen)
-            for plan in plans:
-                lifecycle = _execute_registration(plan, registry, exec_rng)
-                stats["registrations"] += 1
-                if plan.fast_takedown:
-                    stats["fast_takedowns"] += 1
-                if plan.has_history:
-                    # Re-registered dropped name: it carries zone-file
-                    # history, which is what DZDB sees for §4.2.
-                    dropped = plan.created_at - int(
-                        exec_rng.uniform(60 * DAY, 500 * DAY))
-                    dzdb.add_interval(
-                        plan.domain,
-                        dropped - int(exec_rng.uniform(30 * DAY, 300 * DAY)),
-                        dropped)
-                if plan.cert is not None and lifecycle.zone_added_at is not None:
-                    request_at = lifecycle.zone_added_at + plan.cert.delay_after_publish
-                    cert_events.append((request_at, plan.domain,
-                                        plan.cert.extra_sans or None, None))
-            for ghost in ghosts:
-                ca = ca_sampler.pick(bank.stream("capick"))
-                ca.seed_token(ghost.domain, ghost.validated_at)
-                if ghost.in_dzdb:
-                    dzdb.add_interval(ghost.domain, ghost.first_seen,
-                                      ghost.last_seen)
-                cert_events.append((ghost.requested_at, ghost.domain, None, ca))
-                stats["ghost_certs"] += 1
-
-        # Held (serverHold) domains: old registrations that went dark
-        # before the window but still hold valid DV tokens.
-        if config.held_domains:
-            held_gen = NameGenerator(bank.stream("names", tld, "held"),
-                                     namespace="h-")
-            held_rng = bank.stream("gen", tld, "held")
-            n_held = sum(tld_targets.held_count(m) for m, _ in cal.MONTHS)
-            for _ in range(n_held):
-                profile = pick_profile(held_rng, BENIGN_PROFILES)
-                created = config.window.start - int(
-                    held_rng.uniform(60 * DAY, 350 * DAY))
-                domain = held_gen.by_style(profile.name_style, tld)
-                provider = profile.dns_mix.pick(held_rng)
-                registry.register(
-                    domain, created, profile.registrar_mix.pick(held_rng).name,
-                    ns_hosts=provider.nameservers_for(domain),
-                    a_addrs=("198.18.63.2",), dns_provider=provider.name,
-                    actor=profile.name)
-                hold_at = config.window.start - int(
-                    held_rng.uniform(5 * DAY, 50 * DAY))
-                registry.place_hold(domain, max(hold_at, created + DAY))
-                dzdb.add_interval(domain, created + DAY, hold_at)
-                ca = ca_sampler.pick(bank.stream("capick"))
-                ca.seed_token(domain, max(created + 2 * DAY,
-                                          hold_at - 300 * DAY))
-                request_at = config.window.start + held_rng.randrange(
-                    config.window.duration)
-                cert_events.append((request_at, domain, None, ca))
-                stats["held_domains"] += 1
+    # Each TLD's generation is independent given its streams; only the
+    # capick CA-pick stream is shared, and its per-TLD draw counts are
+    # known up front.  So the serial and multi-core paths run the SAME
+    # per-TLD code (_populate_tld) — serial against the live
+    # substrates, parallel against worker-private ones whose compact
+    # arrays are merged here in canonical TLD order.  Either way the
+    # resulting world is bit-identical (docs/determinism.md).
+    jobs = _resolve_jobs(config.parallel, len(targets))
+    if jobs > 1:
+        _merge_shards(config, targets, jobs, registries, dzdb, seed_token,
+                      cert_events, stats)
+    else:
+        for tld, tld_targets in sorted(targets.items()):
+            _populate_tld(config, tld_targets, bank, registries.get(tld),
+                          dzdb, seed_token, cert_events, stats)
 
     # --- ccTLD population (the §4.4b ground-truth registry) ------------------------
     if cctld_tld is not None:
@@ -579,11 +807,11 @@ def _build_world(config: Optional[ScenarioConfig]) -> World:
     # --- execute certificate requests in time order ---------------------------------
     cert_events.sort(key=lambda e: (e[0], e[1]))
     capick = bank.stream("capick", "issue")
-    for request_at, domain, sans, pinned_ca in cert_events:
+    for request_at, domain, sans, pinned_index in cert_events:
         if request_at >= config.window.end:
             continue
-        ca = (pinned_ca if pinned_ca is not None
-              else ca_sampler.pick(capick))
+        ca = cas[pinned_index if pinned_index is not None
+                 else _CA_INDICES.pick(capick)]
         try:
             ca.request_certificate(domain, request_at,
                                    extra_sans=sans or ())

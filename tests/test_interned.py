@@ -301,6 +301,79 @@ class TestPslRuleVersioning:
         assert name.registrable(psl) == "y.co.test"
 
 
+class _CountingPsl(PublicSuffixList):
+    """PSL that counts core suffix matches (cache-miss observations)."""
+
+    def __init__(self, rules):
+        super().__init__(rules=rules)
+        self.matches = 0
+
+    def _suffix_length(self, reversed_labels):
+        self.matches += 1
+        return super()._suffix_length(reversed_labels)
+
+
+class TestRegistrableTwoSlotCache:
+    """``Name.registrable`` keeps the last TWO (PSL, version) results.
+
+    A workload that alternates two PSL instances over the same names —
+    an ablation comparing rule sets per event — must compute each
+    (name, rule set) pair once, not once per switch (the single-slot
+    behaviour retired by this cache).
+    """
+
+    def test_interleaving_two_psls_never_recomputes(self):
+        one = _CountingPsl(rules=["test"])
+        two = _CountingPsl(rules=["test", "co.test"])
+        names = [intern_name(f"host-{i}.site-{i}.co.test") for i in range(20)]
+        for name in names:
+            assert name.registrable(one) is not None
+        warm_one, warm_two = one.matches, two.matches
+        # Interleave the two instances over the same names, twice over.
+        for _ in range(2):
+            for name in names:
+                assert name.registrable(one).endswith("co.test")
+                assert str(name.registrable(two)).count(".") == 2
+        # `one` was warmed above; `two` pays one match per name, once.
+        assert one.matches == warm_one
+        assert two.matches == warm_two + len(names)
+
+    def test_results_stay_correct_per_instance(self):
+        one = PublicSuffixList(rules=["test"])
+        two = PublicSuffixList(rules=["test", "co.test"])
+        name = intern_name("a.b.co.test")
+        for _ in range(3):
+            assert name.registrable(one) == "co.test"
+            assert name.registrable(two) == "b.co.test"
+
+    def test_third_psl_evicts_least_recent(self):
+        one = _CountingPsl(rules=["test"])
+        two = _CountingPsl(rules=["test", "co.test"])
+        three = _CountingPsl(rules=["test", "b.co.test"])
+        name = intern_name("a.b.co.test")
+        for psl in (one, two, three):
+            name.registrable(psl)
+        assert (one.matches, two.matches, three.matches) == (1, 1, 1)
+        # Rotating through three instances exceeds the two slots: the
+        # least-recently-used one recomputes on return.
+        name.registrable(one)
+        assert one.matches == 2
+        # ...but the two most recent stay cached.
+        name.registrable(one)
+        name.registrable(three)
+        assert (one.matches, three.matches) == (2, 1)
+
+    def test_version_bump_still_invalidates_both_slots(self):
+        one = PublicSuffixList(rules=["test"])
+        two = PublicSuffixList(rules=["test"])
+        name = intern_name("x.y.co.test")
+        assert name.registrable(one) == "co.test"
+        assert name.registrable(two) == "co.test"
+        one.add_rule("co.test")
+        assert name.registrable(one) == "y.co.test"
+        assert name.registrable(two) == "co.test"
+
+
 class TestDetectorEquivalence:
     def test_bulk_run_matches_per_event_processing(self):
         """The detector's inlined bulk loop is observably identical to

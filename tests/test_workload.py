@@ -234,3 +234,95 @@ class TestScenario:
         world = small_world(seed=2, tlds=("com",), scale=1 / 5000)
         assert world.cctld_tld is None
         assert set(world.targets) == {"com"}
+
+
+class TestCapickDrawAccounting:
+    """The counting pass behind the multi-core build's fast-forward.
+
+    ``capick_draw_counts`` must predict, per TLD, exactly how many
+    draws ``_populate_tld`` consumes from the shared capick stream —
+    otherwise a worker's fast-forward offset drifts and every CA pick
+    after the first mispredicted TLD diverges from the serial build.
+    """
+
+    def _audit(self, config):
+        from repro.czds.dzdb import DZDB
+        from repro.registry.policy import policy_for
+        from repro.registry.registry import Registry
+        from repro.simtime.rng import CountingStream, StreamBank
+        from repro.workload.scenario import _populate_tld, capick_draw_counts
+
+        targets = cal.build_targets(config.scale)
+        if config.tlds is not None:
+            targets = {t: targets[t] for t in config.tlds}
+        predicted = capick_draw_counts(config, targets)
+        bank = StreamBank(config.seed)
+        counter = bank.adopt(CountingStream(config.seed, "capick"), "capick")
+        for tld in sorted(targets):
+            before = counter.random_draws
+            _populate_tld(config, targets[tld], bank,
+                          Registry(policy_for(tld)), DZDB(),
+                          lambda index, domain, ts: None, [],
+                          dict.fromkeys(("registrations", "fast_takedowns",
+                                         "ghost_certs", "held_domains",
+                                         "baseline"), 0))
+            assert counter.random_draws - before == predicted[tld], tld
+        return predicted
+
+    def test_counts_match_consumption(self):
+        predicted = self._audit(ScenarioConfig(
+            seed=13, scale=1 / 2000, tlds=["com", "xyz", "top", "bond"],
+            include_cctld=False))
+        assert sum(predicted.values()) > 0
+
+    def test_ablations_gate_the_draws(self):
+        predicted = self._audit(ScenarioConfig(
+            seed=13, scale=1 / 2000, tlds=["com", "xyz"],
+            include_cctld=False, ghost_certs=False, held_domains=False))
+        assert all(count == 0 for count in predicted.values())
+
+
+class TestLifecycleRowRoundTrip:
+    """lifecycle_rows -> register_many must be a lossless round trip."""
+
+    def test_rows_rebuild_identical_registries(self):
+        from repro.registry.policy import policy_for
+        from repro.registry.registry import Registry, lifecycle_rows
+
+        world = small_world(seed=19, tlds=("com", "top"), scale=1 / 4000)
+        for source in world.registries:
+            rebuilt = Registry(policy_for(source.tld))
+            rebuilt.register_many(lifecycle_rows(source),
+                                  source.dirty_tick_indices())
+            assert len(rebuilt) == len(source)
+            assert (rebuilt.dirty_tick_indices()
+                    == source.dirty_tick_indices())
+            pairs = zip(source.lifecycles(), rebuilt.lifecycles())
+            for lc, copy in pairs:
+                assert copy.domain is lc.domain  # interned identity
+                for field in ("registrar", "created_at", "zone_added_at",
+                              "removed_at", "zone_removed_at",
+                              "dns_provider", "web_provider",
+                              "is_malicious", "abuse_kind",
+                              "removal_reason", "actor", "campaign",
+                              "held", "lame", "rdap_sync_lag"):
+                    assert getattr(copy, field) == getattr(lc, field), field
+                assert (list(copy.ns_timeline.changes())
+                        == list(lc.ns_timeline.changes()))
+                assert (list(copy.a_timeline.changes())
+                        == list(lc.a_timeline.changes()))
+                assert (list(copy.aaaa_timeline.changes())
+                        == list(lc.aaaa_timeline.changes()))
+
+    def test_register_many_rejects_duplicates(self):
+        from repro.errors import RegistrationError
+        from repro.registry.policy import policy_for
+        from repro.registry.registry import Registry, lifecycle_rows
+
+        source = Registry(policy_for("com"))
+        source.register("dup-row.com", 1000, "R1", ns_hosts=("ns1.x.com",))
+        rows = lifecycle_rows(source)
+        target = Registry(policy_for("com"))
+        target.register_many(rows)
+        with pytest.raises(RegistrationError):
+            target.register_many(rows)
