@@ -28,6 +28,7 @@ except ImportError:  # standalone CLI usage without pytest installed
 
 from repro.core.ctdetect import CTDetector
 from repro.core.pipeline import run_pipeline
+from repro.obs.spans import tracer
 from repro.workload.scenario import ScenarioConfig, build_world
 
 INV_SCALE = 2000
@@ -59,6 +60,8 @@ def run_pipeline_bench(inv_scale: int = INV_SCALE, seed: int = SEED,
     best = None
     result = None
     for _ in range(max(1, rounds)):
+        # Reset per round so the phase table covers the final run only.
+        tracer().reset()
         start = time.perf_counter()
         result = run_pipeline(world)
         elapsed = time.perf_counter() - start
@@ -77,6 +80,12 @@ def run_pipeline_bench(inv_scale: int = INV_SCALE, seed: int = SEED,
         "certstream_events": result.stats["certstream_events"],
         "events_per_sec": round(result.stats["certstream_events"] / best, 1),
         "confirmed_transients": len(result.confirmed_transients),
+        # Per-step wall/RSS spans of the final pipeline round (the five
+        # canonical pipeline.* phases; see docs/observability.md).
+        "phases": {phase: totals
+                   for phase, totals in sorted(
+                       tracer().phase_totals().items())
+                   if phase.startswith("pipeline.")},
     }
 
 

@@ -30,6 +30,7 @@ import resource
 import sys
 import time
 
+from repro.obs.spans import set_enabled, tracer
 from repro.workload.scenario import (
     ScenarioConfig,
     build_world,
@@ -56,6 +57,9 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
                             include_cctld=include_cctld, parallel=jobs)
     build_sec = None
     for _ in range(max(1, rounds)):
+        # Reset per round so the reported phase table covers exactly
+        # the final build, not rounds-times-accumulated totals.
+        tracer().reset()
         start = time.perf_counter()
         world = build_world(config)
         elapsed = time.perf_counter() - start
@@ -75,6 +79,12 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
         "us_per_registration": round(build_sec / regs * 1e6, 1),
         "peak_rss_mb": round(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
+        # Per-phase wall/RSS spans of the final build round — the
+        # between-PR trajectory ISSUE 6 adds (see docs/observability.md).
+        "phases": {phase: totals
+                   for phase, totals in sorted(
+                       tracer().phase_totals().items())
+                   if phase.startswith("build.")},
     }
     if (jobs == 1 and SEED_BASELINE["inv_scale"] == inv_scale
             and SEED_BASELINE["seed"] == seed
@@ -101,6 +111,47 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
         report["peak_rss_mb"] = round(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1)
     return report
+
+
+def measure_span_overhead(inv_scale: int = INV_SCALE, seed: int = SEED,
+                          include_cctld: bool = False,
+                          rounds: int = 3) -> dict:
+    """Cost of the span instrumentation on the build, best-of-``rounds``.
+
+    Times the identical build with the process tracer enabled and
+    disabled (``set_enabled``); the acceptance budget for ISSUE 6 is
+    2 % at the canonical 1/500 point.  Span count is small by design —
+    phases are coarse — so the measured delta is usually within timer
+    noise; the percentage is floored at 0 rather than reporting a
+    negative "speedup" from jitter.
+    """
+    config = ScenarioConfig(seed=seed, scale=1.0 / inv_scale,
+                            include_cctld=include_cctld)
+
+    def best_build_sec() -> float:
+        best = None
+        for _ in range(max(1, rounds)):
+            tracer().reset()
+            start = time.perf_counter()
+            build_world(config)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    try:
+        set_enabled(True)
+        enabled_sec = best_build_sec()
+        set_enabled(False)
+        disabled_sec = best_build_sec()
+    finally:
+        set_enabled(True)
+    overhead_pct = max(0.0, (enabled_sec - disabled_sec)
+                       / disabled_sec * 100.0)
+    return {
+        "spans_enabled_sec": round(enabled_sec, 4),
+        "spans_disabled_sec": round(disabled_sec, 4),
+        "span_overhead_pct": round(overhead_pct, 2),
+    }
 
 
 def test_world_build_throughput(bench_baseline):
@@ -140,12 +191,20 @@ def main() -> None:
                         help="worker processes for world generation "
                              "(default 1 = serial, 0 = one per core; the "
                              "fingerprint is identical for any value)")
+    parser.add_argument("--span-overhead", action="store_true",
+                        help="also time the build with the span tracer "
+                             "disabled and report the instrumentation "
+                             "overhead percentage (budget: 2%%)")
     args = parser.parse_args()
     rounds = args.rounds if args.rounds else (3 if args.check_baseline else 1)
     report = run_build(inv_scale=args.inv_scale, seed=args.seed,
                        include_cctld=args.cctld, pipeline=args.pipeline,
                        fingerprint=not args.no_fingerprint, rounds=rounds,
                        jobs=args.jobs)
+    if args.span_overhead:
+        report.update(measure_span_overhead(
+            inv_scale=args.inv_scale, seed=args.seed,
+            include_cctld=args.cctld, rounds=max(3, rounds)))
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.check_baseline:
         # Imported lazily: conftest pulls in pytest only when present.

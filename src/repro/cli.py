@@ -20,6 +20,14 @@ Commands
     Bulk-measure every CT-detected candidate through the scan engine
     (scheduler + rate-limited probe fleet); print the engine metrics
     snapshot as JSON.
+``metrics``
+    Run a pipeline and print the process telemetry registry — every
+    subsystem's counters plus the phase spans — as a JSON snapshot or
+    in the Prometheus text exposition format (``--format prom``).
+
+``reproduce`` / ``scan`` / ``serve`` also accept ``--metrics-out PATH``
+to write the registry snapshot (JSON) next to their normal output; see
+``docs/observability.md``.
 
 Error reporting is uniform across subcommands: bad user input (flag
 values, filter specs, durations, paths) exits 2 with one clean line on
@@ -42,6 +50,8 @@ from repro.analysis.visibility import DEFAULT_CADENCES, rzu_report, rzu_sweep
 from repro.core.ctdetect import CTDetector
 from repro.core.pipeline import DarkDNSPipeline
 from repro.errors import ReproError
+from repro.obs.exposition import to_json, to_prometheus
+from repro.obs.metrics import get_registry
 from repro.scan import ProbeResultStore, ScanConfig, ScanEngine
 from repro.serve import FeedServer, FeedServerConfig, FilterSpec
 from repro.simtime.clock import DAY, Window, parse_duration
@@ -104,6 +114,21 @@ def _world_from(args: argparse.Namespace, cctld_scale: Optional[float] = None):
         parallel=args.jobs))
 
 
+def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the telemetry registry snapshot "
+                             "(JSON: every subsystem's counters plus "
+                             "the phase spans) to PATH")
+
+
+def _write_metrics_out(path: Optional[str]) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(get_registry()) + "\n")
+    print(f"wrote metrics snapshot to {path}", file=sys.stderr)
+
+
 def cmd_reproduce(args: argparse.Namespace) -> int:
     start = time.time()
     world = _world_from(args, cctld_scale=1.0 if not args.no_cctld else None)
@@ -112,6 +137,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
           f"({time.time() - start:.1f}s)", file=sys.stderr)
     result = DarkDNSPipeline(world).run()
     print(render_reports(full_report(world, result)))
+    _write_metrics_out(args.metrics_out)
     return 0
 
 
@@ -197,6 +223,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"compaction dropped {compacted:,} superseded records",
           file=sys.stderr)
     print(json.dumps(server.snapshot(), indent=2, sort_keys=True))
+    _write_metrics_out(args.metrics_out)
     return 0
 
 
@@ -237,6 +264,18 @@ def cmd_scan(args: argparse.Namespace) -> int:
         print(f"wrote {len(store):,} probe outcomes to {args.store}",
               file=sys.stderr)
     print(json.dumps(engine.snapshot(), indent=2, sort_keys=True))
+    _write_metrics_out(args.metrics_out)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the pipeline, then expose the whole telemetry registry."""
+    world = _world_from(args)
+    DarkDNSPipeline(world).run()
+    if args.format == "prom":
+        print(to_prometheus(get_registry()), end="")
+    else:
+        print(to_json(get_registry()))
     return 0
 
 
@@ -261,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_repro = sub.add_parser("reproduce",
                              help="run everything, print paper-vs-measured")
     _add_world_args(p_repro)
+    _add_metrics_out(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
 
     p_feed = sub.add_parser("feed", help="write the public NRD feed (JSONL)")
@@ -303,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="simulated time between client polls "
                               "during live replay (default 3600)")
+    _add_metrics_out(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_scan = sub.add_parser(
@@ -333,7 +374,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="terminate never-resolved domains after K "
                              "consecutive NXDOMAIN instants "
                              "(default: keep probing)")
+    _add_metrics_out(p_scan)
     p_scan.set_defaults(func=cmd_scan)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run a pipeline, print the telemetry registry")
+    _add_world_args(p_metrics)
+    p_metrics.add_argument("--format", choices=("json", "prom"),
+                           default="json",
+                           help="JSON snapshot (default) or Prometheus "
+                                "text exposition format")
+    p_metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

@@ -29,6 +29,8 @@ from repro.core.records import PipelineResult
 from repro.core.transient import TransientClassifier
 from repro.core.validate import Validator, ValidatorConfig
 from repro.dnscore.psl import PublicSuffixList
+from repro.obs.observers import observe_pipeline_result
+from repro.obs.spans import span
 from repro.workload.scenario import World
 
 
@@ -61,15 +63,23 @@ class DarkDNSPipeline:
     :class:`repro.serve.FeedServer` built on ``world.broker``): after
     the feed is published to the broker topic, the pipeline pumps the
     server so subscribers see the records within the same run.
+
+    ``observers`` optionally attaches a standing
+    :class:`~repro.obs.observers.ObserverSuite`: after step 5 the run's
+    daily output streams (registrations, dark hosts, confirmed
+    transients) are fed through it, and the resulting anomaly /
+    mass-event counts join ``result.stats``.  Detection is read-only —
+    it never changes what the pipeline returns.
     """
 
     def __init__(self, world: World,
                  config: Optional[PipelineConfig] = None,
-                 serve=None) -> None:
+                 serve=None, observers=None) -> None:
         self.world = world
         self.config = config if config is not None else PipelineConfig()
         self.feed = PublicFeed()
         self.serve = serve
+        self.observers = observers
         #: The step-3 monitor instance of the last run (exposes engine
         #: metrics when the strategy is "scan").
         self.monitor = None
@@ -92,12 +102,16 @@ class DarkDNSPipeline:
         window = world.window
 
         # Step 1 — CT detection.
-        detector = CTDetector(
-            archive=world.archive,
-            known_tlds=world.registries.tlds(),
-            psl=config.psl,
-            broker=world.broker)
-        candidates = detector.run(world.certstream, window.start, window.end)
+        with span("pipeline.ct_detect") as sp:
+            detector = CTDetector(
+                archive=world.archive,
+                known_tlds=world.registries.tlds(),
+                psl=config.psl,
+                broker=world.broker)
+            candidates = detector.run(world.certstream,
+                                      window.start, window.end)
+            sp.annotate(sim_sec=window.end - window.start,
+                        candidates=len(candidates))
 
         # Public feed (contribution 2).
         records = [self.feed.publish(c) for c in candidates.values()]
@@ -108,38 +122,45 @@ class DarkDNSPipeline:
             self.serve.pump()
 
         # Step 2 — RDAP collection.
-        collector = RDAPCollector(world.registries, config.rdap,
-                                  broker=world.broker)
-        rdap_results = collector.collect(candidates.values())
+        with span("pipeline.rdap_collect") as sp:
+            collector = RDAPCollector(world.registries, config.rdap,
+                                      broker=world.broker)
+            rdap_results = collector.collect(candidates.values())
+            sp.annotate(queries=len(rdap_results))
 
         # Step 3 — reactive monitoring.
         monitors = {}
-        if config.run_monitor:
-            monitor = make_monitor(world.registries, config.monitor,
-                                   strategy=config.monitor_strategy,
-                                   scan=config.scan)
-            self.monitor = monitor
-            if hasattr(monitor, "observe_all"):
-                # Bulk strategies (the scan engine) interleave every
-                # domain's probe grid through one shared queue.
-                monitors = monitor.observe_all(
-                    {d: c.ct_seen_at for d, c in candidates.items()})
-            else:
-                for domain, candidate in candidates.items():
-                    monitors[domain] = monitor.observe(domain,
-                                                       candidate.ct_seen_at)
-            world.broker.produce_many(
-                TOPIC_OBSERVATIONS,
-                ((domain, report, candidates[domain].ct_seen_at)
-                 for domain, report in monitors.items()))
+        with span("pipeline.monitor",
+                  strategy=config.monitor_strategy) as sp:
+            if config.run_monitor:
+                monitor = make_monitor(world.registries, config.monitor,
+                                       strategy=config.monitor_strategy,
+                                       scan=config.scan)
+                self.monitor = monitor
+                if hasattr(monitor, "observe_all"):
+                    # Bulk strategies (the scan engine) interleave every
+                    # domain's probe grid through one shared queue.
+                    monitors = monitor.observe_all(
+                        {d: c.ct_seen_at for d, c in candidates.items()})
+                else:
+                    for domain, candidate in candidates.items():
+                        monitors[domain] = monitor.observe(
+                            domain, candidate.ct_seen_at)
+                world.broker.produce_many(
+                    TOPIC_OBSERVATIONS,
+                    ((domain, report, candidates[domain].ct_seen_at)
+                     for domain, report in monitors.items()))
+            sp.annotate(monitored=len(monitors))
 
         # Step 4 — validation.
-        validator = Validator(config.validator)
-        verdicts = validator.validate_all(candidates, rdap_results)
+        with span("pipeline.validate"):
+            validator = Validator(config.validator)
+            verdicts = validator.validate_all(candidates, rdap_results)
 
         # Step 5 — transient identification.
-        classifier = TransientClassifier(world.registries, world.archive)
-        breakdown = classifier.classify(candidates, verdicts)
+        with span("pipeline.transient_classify"):
+            classifier = TransientClassifier(world.registries, world.archive)
+            breakdown = classifier.classify(candidates, verdicts)
 
         result = PipelineResult(
             window_start=window.start, window_end=window.end,
@@ -164,6 +185,10 @@ class DarkDNSPipeline:
             "rdap_failed_transients": len(breakdown.rdap_failed),
             "misclassified_transients": len(breakdown.misclassified),
         }
+        if self.observers is not None:
+            anomalies = observe_pipeline_result(self.observers, result)
+            result.stats["anomalies"] = len(anomalies)
+            result.stats["mass_events"] = len(self.observers.mass_events)
         return result
 
 

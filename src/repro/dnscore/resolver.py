@@ -25,6 +25,7 @@ from repro.dnscore.cache import ResolverCache
 from repro.dnscore.message import Query, RCode, Response, servfail
 from repro.dnscore.records import RRType
 from repro.errors import DNSError
+from repro.obs.metrics import Gauge
 from repro.simtime.rng import stable_bucket
 
 
@@ -83,6 +84,28 @@ class CachingResolver:
         self._tld_authorities: Dict[str, AuthorityBackend] = {}
         self._hosting_authority: Optional[AuthorityBackend] = None
         self.stats = ResolverStats()
+        #: Counters retired by reset_stats(); disjoint from live stats,
+        #: so lifetime views count every query exactly once.
+        self._retired = ResolverStats()
+
+    # -- stats lifecycle -----------------------------------------------------------
+
+    def reset_stats(self) -> ResolverStats:
+        """Zero the live window, retiring it into the lifetime totals.
+
+        Returns the window that was just closed.  The retired
+        accumulator and the fresh live window are disjoint, so
+        :meth:`lifetime_stats` never double-counts a query no matter
+        how many resets happen between reads.
+        """
+        closed = self.stats
+        self._retired.merge(closed)
+        self.stats = ResolverStats()
+        return closed
+
+    def lifetime_stats(self) -> ResolverStats:
+        """Retired + live counters: totals that survive reset_stats()."""
+        return ResolverStats().merge(self._retired).merge(self.stats)
 
     # -- wiring ------------------------------------------------------------------
 
@@ -184,17 +207,61 @@ class ResolverPool:
     def resolver_for(self, domain: str) -> CachingResolver:
         return self.resolvers[self.worker_index_for(domain)]
 
-    def aggregate_stats(self) -> ResolverStats:
+    def aggregate_stats(self, include_retired: bool = True) -> ResolverStats:
         """One :class:`ResolverStats` merged across every worker.
 
         Per-instance counters still live on each resolver; this is the
         fleet-level view operators (and the scan engine's metrics
-        snapshot) actually want.
+        snapshot) actually want.  With ``include_retired`` (the
+        default) the totals include windows closed by
+        :meth:`reset_stats` — each query counted exactly once — so a
+        mid-run reset cannot make fleet totals go backwards or
+        double-count; pass ``False`` for the live window only.
         """
         total = ResolverStats()
         for resolver in self.resolvers:
+            if include_retired:
+                total.merge(resolver._retired)
             total.merge(resolver.stats)
         return total
 
+    def reset_stats(self) -> ResolverStats:
+        """Close every worker's live window; returns the merged window."""
+        closed = ResolverStats()
+        for resolver in self.resolvers:
+            closed.merge(resolver.reset_stats())
+        return closed
+
     def total_queries(self) -> int:
         return self.aggregate_stats().queries
+
+
+class ResolverPoolMetrics:
+    """A registry provider exposing one pool's fleet state as gauges.
+
+    Pull-based: every gauge reads the pool at snapshot/exposition time
+    via :meth:`~repro.obs.metrics.Gauge.set_function`, so nothing is
+    pushed on the resolution hot path.  The scan engine registers one
+    of these as the ``"scan.resolver"`` group.
+    """
+
+    STAT_FIELDS = ("queries", "cache_hits", "upstream_queries",
+                   "servfails", "nxdomains")
+
+    def __init__(self, pool: "ResolverPool") -> None:
+        self.pool = pool
+        self.pool_size = Gauge("pool_size", "resolvers in the fleet")
+        self.pool_size.set_function(lambda: len(pool))
+        self.fleet = Gauge("fleet", "merged fleet resolver counters",
+                           labelnames=("stat",))
+        for stat in self.STAT_FIELDS:
+            self.fleet.labels(stat).set_function(
+                lambda s=stat: getattr(pool.aggregate_stats(), s))
+
+    def metrics(self):
+        return (self.pool_size, self.fleet)
+
+    def snapshot(self) -> Dict[str, int]:
+        snap: Dict[str, int] = {"pool_size": len(self.pool)}
+        snap.update(self.pool.aggregate_stats().snapshot())
+        return snap

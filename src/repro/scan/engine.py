@@ -51,7 +51,10 @@ from repro.core.records import MonitorReport
 from repro.dnscore import name as dnsname
 from repro.dnscore.message import RCode, Response, nxdomain
 from repro.dnscore.records import RRType
+from repro.dnscore.resolver import ResolverPoolMetrics
 from repro.errors import ScanError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.registry.registry import RegistryGroup
 from repro.scan.metrics import ScanMetrics
 from repro.scan.ratelimit import AuthorityRateLimiter
@@ -208,6 +211,11 @@ class ScanEngine:
         self.pool = registries.resolver_pool(
             size=self.config.workers,
             max_cache_ttl=self.config.resolver_cache_ttl)
+        # Latest engine wins the process-wide groups (registry
+        # semantics); the pool gauges are pull-based, so registering
+        # costs nothing on the probe hot path.
+        get_registry().register("scan", self.metrics)
+        get_registry().register("scan.resolver", ResolverPoolMetrics(self.pool))
         self.scheduler = ProbeScheduler(self.config.probe_interval,
                                         self.config.duration,
                                         jitter=self.config.jitter)
@@ -286,7 +294,18 @@ class ScanEngine:
         entries in the deferred band).  An all-or-nothing acquire would
         deadlock whenever one instant needs more tokens than the bucket
         can ever hold — three qtypes against ``qps=2``.
+
+        Each drain is one ``scan.run`` span (probe and domain counts
+        annotated); the loop itself carries no per-probe telemetry
+        beyond the existing counters.
         """
+        with span("scan.run") as sp:
+            reports = self._run_loop()
+            sp.annotate(domains=len(reports),
+                        probes=int(self.metrics.probes_sent.value))
+            return reports
+
+    def _run_loop(self) -> Dict[str, MonitorReport]:
         # Hoisted locals: this loop runs once per probe instant and is
         # exactly what the scan benchmark measures.
         scheduler = self.scheduler

@@ -2,25 +2,29 @@
 
 ZDNS-style engines live or die by their counters — probes sent versus
 scheduled, retry pressure, rate-limit stalls, and how far behind the
-nominal probe grid execution is running.  :class:`ScanMetrics` reuses
-the dependency-free :class:`~repro.serve.metrics.Counter` and
-:class:`~repro.serve.metrics.Histogram` primitives and snapshots to a
-plain dict (p50/p99 probe lag included) so the CLI and benchmarks can
-``json.dumps`` it directly.
+nominal probe grid execution is running.  :class:`ScanMetrics` uses the
+shared :class:`~repro.obs.metrics.Counter` and
+:class:`~repro.obs.metrics.Histogram` primitives (still importable
+from here for compatibility) and is a registry provider: the
+:class:`~repro.scan.engine.ScanEngine` registers its instance as the
+``"scan"`` group, so ``repro metrics`` and ``--metrics-out`` carry the
+scan counters alongside every other subsystem.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.serve.metrics import Counter, Histogram
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+__all__ = ["Counter", "Gauge", "Histogram", "ScanMetrics", "LAG_BOUNDS"]
 
 #: Lag buckets tuned for grid slippage: sub-second through hours.
 LAG_BOUNDS = (0, 1, 5, 15, 60, 300, 900, 3600, 6 * 3600)
 
 
 class ScanMetrics:
-    """The scan engine's metric registry."""
+    """The scan engine's metric group (a registry provider)."""
 
     def __init__(self) -> None:
         self.probes_sent = Counter("probes_sent")
@@ -45,6 +49,13 @@ class ScanMetrics:
             "p99": hist.quantile(0.99),
             "max": hist.max,
         }
+
+    def metrics(self):
+        """The primitives, for registry exposition."""
+        return (self.probes_sent, self.probes_suppressed, self.retries,
+                self.rate_limit_stalls, self.negcache_hits,
+                self.domains_scheduled, self.domains_completed,
+                self.terminated_early, self.probe_lag, self.queue_depth)
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready view of every metric."""

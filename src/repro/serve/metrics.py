@@ -3,89 +3,27 @@
 The feed server publishes the numbers an operator of the paper's open
 feed would watch: how many records were published, delivered, dropped
 on full queues, or rejected by rate limits, and the distribution of
-delivery lag (record observation time → delivery time).  Everything is
-dependency-free and snapshots to a plain dict so CLI commands and
-benchmarks can just ``json.dumps`` it.
+delivery lag (record observation time → delivery time).
+
+Since the ``repro.obs`` telemetry layer landed, the primitives live in
+:mod:`repro.obs.metrics` — this module re-exports :class:`Counter` and
+:class:`Histogram` under their historical import path and keeps
+:class:`ServeMetrics` as the serve group's registry provider (the
+:class:`~repro.serve.server.FeedServer` registers its instance as the
+``"serve"`` group; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from typing import Dict, List, Optional, Sequence
+from typing import Dict
 
+from repro.obs.metrics import Counter, Gauge, Histogram
 
-class Counter:
-    """A monotonically increasing count."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        self.value += amount
-
-
-class Histogram:
-    """Fixed-bucket histogram with sum/count/max (enough for lag).
-
-    ``bounds`` are inclusive upper bucket edges; observations above the
-    last bound land in the overflow bucket.
-    """
-
-    DEFAULT_BOUNDS = (1, 10, 60, 300, 900, 3600, 6 * 3600, 24 * 3600)
-
-    def __init__(self, name: str,
-                 bounds: Optional[Sequence[float]] = None) -> None:
-        self.name = name
-        self.bounds: List[float] = sorted(bounds if bounds is not None
-                                          else self.DEFAULT_BOUNDS)
-        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, value: float) -> None:
-        self.buckets[bisect_right(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
-        if value > self.max:
-            self.max = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper edge of the covering bucket."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for i, n in enumerate(self.buckets):
-            seen += n
-            if seen >= target:
-                edge = self.bounds[i] if i < len(self.bounds) else self.max
-                return min(edge, self.max)
-        return self.max
-
-    def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean": round(self.mean, 3),
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "max": self.max,
-        }
+__all__ = ["Counter", "Gauge", "Histogram", "ServeMetrics"]
 
 
 class ServeMetrics:
-    """The feed server's metric registry."""
+    """The feed server's metric group (a registry provider)."""
 
     def __init__(self) -> None:
         self.published = Counter("published")
@@ -97,6 +35,12 @@ class ServeMetrics:
         self.delivery_lag = Histogram("delivery_lag_seconds")
         self.queue_depth = Histogram(
             "queue_depth", bounds=(1, 8, 32, 128, 512, 2048))
+
+    def metrics(self):
+        """The primitives, for registry exposition."""
+        return (self.published, self.delivered, self.dropped_queue_full,
+                self.dropped_rate_limited, self.evicted_clients,
+                self.filtered_out, self.delivery_lag, self.queue_depth)
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready view of every metric."""

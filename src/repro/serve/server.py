@@ -35,6 +35,8 @@ from typing import Dict, List, Optional, Union
 from repro.bus.broker import Broker, TOPIC_FEED
 from repro.core.feed import FeedRecord, read_jsonl_records
 from repro.errors import ServeError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.serve.fanout import FanoutDispatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.ratelimit import RateLimiter, TierPolicy
@@ -86,6 +88,10 @@ class FeedServer:
         #: Observation time of the newest ingested record (drive loops
         #: use it as "server now" between pump batches).
         self.last_ingested_ts = 0
+        # The server (not ServeMetrics itself) owns the process-wide
+        # "serve" group: FanoutDispatcher also builds a ServeMetrics,
+        # and only the server-owned instance is the operator's view.
+        get_registry().register("serve", self.metrics)
 
     # -- membership -----------------------------------------------------------
 
@@ -169,24 +175,26 @@ class FeedServer:
         if self.broker is None:
             raise ServeError("pump() needs a broker "
                              "(use replay() for archives)")
-        ingested = 0
-        while True:
-            budget = self.config.poll_batch
-            if max_messages is not None:
-                budget = min(budget, max_messages - ingested)
-                if budget <= 0:
+        with span("serve.pump") as sp:
+            ingested = 0
+            while True:
+                budget = self.config.poll_batch
+                if max_messages is not None:
+                    budget = min(budget, max_messages - ingested)
+                    if budget <= 0:
+                        break
+                batch = self.broker.poll(self.config.consumer_group,
+                                         TOPIC_FEED, max_messages=budget)
+                if not batch:
                     break
-            batch = self.broker.poll(self.config.consumer_group, TOPIC_FEED,
-                                     max_messages=budget)
-            if not batch:
-                break
-            for message in batch:
-                value = message.value
-                record = (value if isinstance(value, FeedRecord)
-                          else FeedRecord.from_json(value))
-                self.ingest(record)
-                ingested += 1
-        return ingested
+                for message in batch:
+                    value = message.value
+                    record = (value if isinstance(value, FeedRecord)
+                              else FeedRecord.from_json(value))
+                    self.ingest(record)
+                    ingested += 1
+            sp.annotate(ingested=ingested)
+            return ingested
 
     def run_live(self, poll_interval: int = 3600,
                  max_records: int = 1000) -> int:
@@ -202,30 +210,35 @@ class FeedServer:
         """
         if self.broker is None:
             raise ServeError("run_live() needs a broker")
-        pending: List[FeedRecord] = []
-        while True:
-            batch = self.broker.poll(self.config.consumer_group, TOPIC_FEED,
-                                     max_messages=self.config.poll_batch)
-            if not batch:
-                break
-            for message in batch:
-                value = message.value
-                pending.append(value if isinstance(value, FeedRecord)
-                               else FeedRecord.from_json(value))
-        pending.sort(key=lambda r: (r.seen_at, r.domain))
+        with span("serve.run_live") as sp:
+            pending: List[FeedRecord] = []
+            while True:
+                batch = self.broker.poll(self.config.consumer_group,
+                                         TOPIC_FEED,
+                                         max_messages=self.config.poll_batch)
+                if not batch:
+                    break
+                for message in batch:
+                    value = message.value
+                    pending.append(value if isinstance(value, FeedRecord)
+                                   else FeedRecord.from_json(value))
+            pending.sort(key=lambda r: (r.seen_at, r.domain))
 
-        next_poll: Optional[int] = None
-        for record in pending:
-            if next_poll is None:
-                next_poll = record.seen_at + poll_interval
-            while record.seen_at >= next_poll:
-                self.drain_all(next_poll, max_records=max_records)
-                next_poll += poll_interval
-            self.ingest(record)
-        if next_poll is not None:
-            self.drain_until_empty(next_poll, tick=poll_interval,
-                                   max_rounds=10_000)
-        return len(pending)
+            next_poll: Optional[int] = None
+            for record in pending:
+                if next_poll is None:
+                    next_poll = record.seen_at + poll_interval
+                while record.seen_at >= next_poll:
+                    self.drain_all(next_poll, max_records=max_records)
+                    next_poll += poll_interval
+                self.ingest(record)
+            if next_poll is not None:
+                self.drain_until_empty(next_poll, tick=poll_interval,
+                                       max_rounds=10_000)
+            if pending:
+                sp.annotate(sim_sec=pending[-1].seen_at - pending[0].seen_at,
+                            served=len(pending))
+            return len(pending)
 
     def replay(self, path: Path) -> int:
         """Ingest a JSONL feed archive; malformed lines are skipped and

@@ -29,6 +29,7 @@ from repro.errors import ConfigError, ValidationError
 from repro.intel.blocklist import BlocklistPanel
 from repro.intel.labels import GroundTruth
 from repro.intel.nod import NODFeed
+from repro.obs.spans import span
 from repro.registry.lifecycle import DomainLifecycle, RemovalReason
 from repro.registry.policy import DEFAULT_POLICIES, policy_for
 from repro.registry.registrar import TakedownModel
@@ -683,13 +684,18 @@ def build_world(config: Optional[ScenarioConfig] = None) -> World:
     materialises and the finished heap is frozen; see :func:`_gc_paused`.
     """
     with _gc_paused():
-        return _build_world(config)
+        with span("build.world") as sp:
+            world = _build_world(config)
+            sp.annotate(sim_sec=world.window.end - world.window.start,
+                        registrations=world.stats.get("registrations", 0))
+            return world
 
 
 def _build_world(config: Optional[ScenarioConfig]) -> World:
     config = config if config is not None else ScenarioConfig()
     bank = StreamBank(config.seed)
-    targets = cal.build_targets(config.scale)
+    with span("build.calibrate"):
+        targets = cal.build_targets(config.scale)
     if config.tlds is not None:
         unknown = set(config.tlds) - set(targets)
         if unknown:
@@ -744,96 +750,115 @@ def _build_world(config: Optional[ScenarioConfig]) -> World:
     # resulting world is bit-identical (docs/determinism.md).
     jobs = _resolve_jobs(config.parallel, len(targets))
     if jobs > 1:
-        _merge_shards(config, targets, jobs, registries, dzdb, seed_token,
-                      cert_events, stats)
+        # Workers run uninstrumented (their tracers die with them); the
+        # parent's merge span covers the whole fan-out + fold.
+        with span("build.merge_shards", jobs=jobs):
+            _merge_shards(config, targets, jobs, registries, dzdb,
+                          seed_token, cert_events, stats)
     else:
         for tld, tld_targets in sorted(targets.items()):
-            _populate_tld(config, tld_targets, bank, registries.get(tld),
-                          dzdb, seed_token, cert_events, stats)
+            with span("build.populate_tld", tld=tld) as sp:
+                _populate_tld(config, tld_targets, bank, registries.get(tld),
+                              dzdb, seed_token, cert_events, stats)
+                sp.annotate(nrd=tld_targets.total_nrd)
 
     # --- ccTLD population (the §4.4b ground-truth registry) ------------------------
     if cctld_tld is not None:
-        cc_scale = (config.cctld_scale if config.cctld_scale is not None
-                    else config.scale)
-        # Ordinary registrations track the global scale (they only give
-        # the ccTLD zone realistic bulk); the ground-truth fast-deletion
-        # population tracks cctld_scale so §4.4b can run at absolute
-        # paper counts without inflating everything else.
-        cc_scaled = config.cctld.scaled(config.scale)
-        cc_truth = config.cctld.scaled(cc_scale)
-        registry = registries.get(cctld_tld)
-        cc_gen = NameGenerator(bank.stream("names", cctld_tld))
-        cc_rng = bank.stream("gen", cctld_tld)
-        cc_exec = bank.stream("exec", cctld_tld)
-        for month, _days in cal.MONTHS:
-            window = month_window(month)
-            for ts in _spread_times(cc_rng, window, cc_scaled.monthly_nrd):
-                profile = pick_profile(cc_rng, BENIGN_PROFILES)
+        with span("build.populate_cctld", tld=cctld_tld):
+            cc_scale = (config.cctld_scale if config.cctld_scale is not None
+                        else config.scale)
+            # Ordinary registrations track the global scale (they only
+            # give the ccTLD zone realistic bulk); the ground-truth
+            # fast-deletion population tracks cctld_scale so §4.4b can
+            # run at absolute paper counts without inflating everything
+            # else.
+            cc_scaled = config.cctld.scaled(config.scale)
+            cc_truth = config.cctld.scaled(cc_scale)
+            registry = registries.get(cctld_tld)
+            cc_gen = NameGenerator(bank.stream("names", cctld_tld))
+            cc_rng = bank.stream("gen", cctld_tld)
+            cc_exec = bank.stream("exec", cctld_tld)
+            for month, _days in cal.MONTHS:
+                window = month_window(month)
+                for ts in _spread_times(cc_rng, window,
+                                        cc_scaled.monthly_nrd):
+                    profile = pick_profile(cc_rng, BENIGN_PROFILES)
+                    plan = RegistrationPlan(
+                        domain=cc_gen.by_style(profile.name_style,
+                                               cctld_tld),
+                        tld=cctld_tld, created_at=ts, profile=profile,
+                        registrar=profile.registrar_mix.pick(cc_rng),
+                        dns_provider=profile.dns_mix.pick(cc_rng),
+                        web_provider=profile.web_mix.pick(cc_rng))
+                    _decorate_plan(plan, cc_rng, config, early_prob=0.55)
+                    lifecycle = _execute_registration(plan, registry,
+                                                      cc_exec)
+                    if (plan.cert is not None
+                            and lifecycle.zone_added_at is not None):
+                        cert_events.append((
+                            lifecycle.zone_added_at
+                            + plan.cert.delay_after_publish,
+                            plan.domain, plan.cert.extra_sans or None,
+                            None))
+            # Fast deletions (the 714 / 334 / 99 ground truth).
+            n_fast_cc = cc_truth.deleted_under_24h
+            for ts in _spread_times(cc_rng, config.window, n_fast_cc):
+                profile = pick_profile(cc_rng, FAST_MALICIOUS_PROFILES)
                 plan = RegistrationPlan(
                     domain=cc_gen.by_style(profile.name_style, cctld_tld),
                     tld=cctld_tld, created_at=ts, profile=profile,
                     registrar=profile.registrar_mix.pick(cc_rng),
                     dns_provider=profile.dns_mix.pick(cc_rng),
-                    web_provider=profile.web_mix.pick(cc_rng))
-                _decorate_plan(plan, cc_rng, config, early_prob=0.55)
+                    web_provider=profile.web_mix.pick(cc_rng),
+                    fast_takedown=True,
+                    removal_delay=_sample_fast_lifetime(
+                        cc_rng, config.cctld.fast_median))
+                if cc_rng.bernoulli(config.cctld.cert_coverage):
+                    plan.cert = CertPlan(
+                        delay_after_publish=profile.cert.sample_delay(cc_rng))
                 lifecycle = _execute_registration(plan, registry, cc_exec)
-                if plan.cert is not None and lifecycle.zone_added_at is not None:
+                stats["fast_takedowns"] += 1
+                if (plan.cert is not None
+                        and lifecycle.zone_added_at is not None):
                     cert_events.append((
-                        lifecycle.zone_added_at + plan.cert.delay_after_publish,
+                        lifecycle.zone_added_at
+                        + plan.cert.delay_after_publish,
                         plan.domain, plan.cert.extra_sans or None, None))
-        # Fast deletions (the 714 / 334 / 99 ground truth).
-        n_fast_cc = cc_truth.deleted_under_24h
-        for ts in _spread_times(cc_rng, config.window, n_fast_cc):
-            profile = pick_profile(cc_rng, FAST_MALICIOUS_PROFILES)
-            plan = RegistrationPlan(
-                domain=cc_gen.by_style(profile.name_style, cctld_tld),
-                tld=cctld_tld, created_at=ts, profile=profile,
-                registrar=profile.registrar_mix.pick(cc_rng),
-                dns_provider=profile.dns_mix.pick(cc_rng),
-                web_provider=profile.web_mix.pick(cc_rng),
-                fast_takedown=True,
-                removal_delay=_sample_fast_lifetime(
-                    cc_rng, config.cctld.fast_median))
-            if cc_rng.bernoulli(config.cctld.cert_coverage):
-                plan.cert = CertPlan(
-                    delay_after_publish=profile.cert.sample_delay(cc_rng))
-            lifecycle = _execute_registration(plan, registry, cc_exec)
-            stats["fast_takedowns"] += 1
-            if plan.cert is not None and lifecycle.zone_added_at is not None:
-                cert_events.append((
-                    lifecycle.zone_added_at + plan.cert.delay_after_publish,
-                    plan.domain, plan.cert.extra_sans or None, None))
 
     # --- execute certificate requests in time order ---------------------------------
-    cert_events.sort(key=lambda e: (e[0], e[1]))
-    capick = bank.stream("capick", "issue")
-    for request_at, domain, sans, pinned_index in cert_events:
-        if request_at >= config.window.end:
-            continue
-        ca = cas[pinned_index if pinned_index is not None
-                 else _CA_INDICES.pick(capick)]
-        try:
-            ca.request_certificate(domain, request_at,
-                                   extra_sans=sans or ())
-            stats["cert_requests"] += 1
-        except ValidationError:
-            stats["cert_rejections"] += 1
+    with span("build.issue_certs") as sp:
+        cert_events.sort(key=lambda e: (e[0], e[1]))
+        capick = bank.stream("capick", "issue")
+        for request_at, domain, sans, pinned_index in cert_events:
+            if request_at >= config.window.end:
+                continue
+            ca = cas[pinned_index if pinned_index is not None
+                     else _CA_INDICES.pick(capick)]
+            try:
+                ca.request_certificate(domain, request_at,
+                                       extra_sans=sans or ())
+                stats["cert_requests"] += 1
+            except ValidationError:
+                stats["cert_rejections"] += 1
+        sp.annotate(requests=stats["cert_requests"],
+                    rejections=stats["cert_rejections"])
 
     # --- observation channels ---------------------------------------------------------
-    covered = sorted(targets) + ([cctld_tld] if cctld_tld else [])
-    # The snapshot collection runs 3 days past the analysis window —
-    # the paper's ±3-day slack for late-published zone files, which
-    # also keeps end-of-window registrations out of the transient set.
-    archive_window = Window(config.window.start,
-                            config.window.end + TRANSIENT_SLACK)
-    archive = SnapshotArchive(registries, archive_window,
-                              interval=config.snapshot_interval,
-                              covered_tlds=covered)
-    certstream = CertstreamFeed(logs)
-    blocklists = BlocklistPanel(seed=config.seed)
-    nod = NODFeed()
-    broker = Broker()
-    ground_truth = GroundTruth(registries, archive, config.window)
+    with span("build.observation_channels"):
+        covered = sorted(targets) + ([cctld_tld] if cctld_tld else [])
+        # The snapshot collection runs 3 days past the analysis window —
+        # the paper's ±3-day slack for late-published zone files, which
+        # also keeps end-of-window registrations out of the transient set.
+        archive_window = Window(config.window.start,
+                                config.window.end + TRANSIENT_SLACK)
+        archive = SnapshotArchive(registries, archive_window,
+                                  interval=config.snapshot_interval,
+                                  covered_tlds=covered)
+        certstream = CertstreamFeed(logs)
+        blocklists = BlocklistPanel(seed=config.seed)
+        nod = NODFeed()
+        broker = Broker()
+        ground_truth = GroundTruth(registries, archive, config.window)
 
     return World(
         config=config, window=config.window, registries=registries,

@@ -44,7 +44,7 @@ def test_docs_tree_exists():
     names = {p.name for p in DOC_PAGES}
     assert {"architecture.md", "serve.md", "scan.md",
             "interned-names.md", "determinism.md",
-            "benchmarks.md"} <= names
+            "benchmarks.md", "observability.md"} <= names
 
 
 @pytest.mark.parametrize("page", LINKED_PAGES,

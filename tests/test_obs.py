@@ -1,0 +1,768 @@
+"""Tests for the unified telemetry layer (repro.obs).
+
+Covers the metric primitives and quantile edge cases (with property
+tests), span nesting and exception paths, the Prometheus exposition
+escaping/parse round-trip and lint, the standing observers (quiet on
+the default world, firing on a registration burst), and the resolver
+stats-reset semantics the registry gauges depend on.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import DarkDNSPipeline
+from repro.dnscore.resolver import ResolverPool, ResolverPoolMetrics
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObserverSuite,
+    RollingBaseline,
+    SeriesObserver,
+    SimpleProvider,
+    Tracer,
+    daily_counts,
+    default_pipeline_suite,
+    get_registry,
+    lint_prometheus,
+    observe_pipeline_result,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+    tracer,
+)
+from repro.obs.exposition import escape_label_value, unescape_label_value
+from repro.workload.scenario import ScenarioConfig, build_world, world_fingerprint
+
+_DAY = 86_400
+
+
+# --------------------------------------------------------------------------
+# Counter / Gauge primitives
+# --------------------------------------------------------------------------
+
+class TestCounter:
+
+    def test_inc_and_value(self):
+        c = Counter("hits", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counters_only_go_up(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_children_memoised(self):
+        c = Counter("probes", labelnames=("tld",))
+        assert c.labels("com") is c.labels(tld="com")
+        c.labels("com").inc(3)
+        c.labels("net").inc()
+        assert [(child._labelvalues, child.value)
+                for child in c.children()] == [(("com",), 3), (("net",), 1)]
+
+    def test_labelled_parent_rejects_inc(self):
+        c = Counter("probes", labelnames=("tld",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_label_arity_and_names_checked(self):
+        c = Counter("probes", labelnames=("tld", "kind"))
+        with pytest.raises(ValueError):
+            c.labels("com")                       # missing one value
+        with pytest.raises(ValueError):
+            c.labels(tld="com", bogus="x")        # unknown keyword
+        with pytest.raises(ValueError):
+            c.labels("com", tld="com")            # both styles at once
+        with pytest.raises(ValueError):
+            Counter("bad", labelnames=("tld", "tld"))
+        with pytest.raises(ValueError):
+            Counter("bad", labelnames=("not ok",))
+
+    def test_unlabelled_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("plain").labels("com")
+
+
+class TestGauge:
+
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+    def test_pull_gauge_reads_live_state(self):
+        state = {"n": 1}
+        g = Gauge("live")
+        g.set_function(lambda: state["n"])
+        assert g.value == 1
+        state["n"] = 7
+        assert g.value == 7
+        g.set(0)                       # an explicit set drops the function
+        state["n"] = 99
+        assert g.value == 0
+
+    def test_labelled_parent_holds_no_value(self):
+        g = Gauge("fleet", labelnames=("stat",))
+        with pytest.raises(ValueError):
+            g.set(1)
+        with pytest.raises(ValueError):
+            _ = g.value
+        g.labels("queries").set(3)
+        assert g.labels("queries").value == 3
+
+
+# --------------------------------------------------------------------------
+# Histogram quantile edge cases (the satellite fix) + properties
+# --------------------------------------------------------------------------
+
+class TestHistogramQuantile:
+
+    def test_empty_histogram_answers_zero(self):
+        h = Histogram("lag", bounds=(1, 10, 60))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+        assert h.mean == 0.0
+
+    def test_single_overflow_observation_reports_own_value(self):
+        h = Histogram("lag", bounds=(1, 10))
+        h.observe(500)
+        # Not infinity, not the last bound: the tracked maximum.
+        assert h.quantile(0.5) == 500
+        assert h.quantile(1.0) == 500
+
+    def test_bounds_of_length_one(self):
+        h = Histogram("lag", bounds=(10,))
+        h.observe(3)
+        assert h.quantile(0.5) == 3        # edge 10 capped at max
+        h.observe(50)                      # overflow bucket
+        assert h.quantile(1.0) == 50
+
+    def test_quantile_zero_is_first_nonempty_bucket(self):
+        h = Histogram("lag", bounds=(1, 10, 60))
+        h.observe(5)
+        h.observe(200)
+        assert h.quantile(0.0) == 10       # 5 lands in the (1, 10] bucket
+
+    def test_quantile_one_is_exact_max(self):
+        h = Histogram("lag", bounds=(1, 10, 60))
+        for value in (0.5, 2, 30, 59):
+            h.observe(value)
+        assert h.quantile(1.0) == 59
+
+    def test_out_of_range_q_raises(self):
+        h = Histogram("lag", bounds=(1,))
+        for q in (-0.1, 1.1, 2):
+            with pytest.raises(ValueError):
+                h.quantile(q)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lag", bounds=())
+
+    def test_snapshot_keys(self):
+        h = Histogram("lag", bounds=(1, 10))
+        h.observe(4)
+        assert set(h.snapshot()) == {"count", "mean", "p50", "p95", "max"}
+
+    @given(values=st.lists(
+               st.floats(min_value=0.0, max_value=2.0 * _DAY,
+                         allow_nan=False, allow_infinity=False),
+               max_size=150),
+           bounds=st.sets(
+               st.sampled_from([1, 5, 10, 60, 300, 900, 3600, 21600, _DAY]),
+               min_size=1, max_size=6))
+    @settings(max_examples=120, deadline=None)
+    def test_quantile_invariants(self, values, bounds):
+        h = Histogram("h", bounds=sorted(bounds))
+        for value in values:
+            h.observe(value)
+        qs = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+        estimates = [h.quantile(q) for q in qs]
+        # Monotone in q, bounded by the observed range, exact at q=1.
+        assert estimates == sorted(estimates)
+        if values:
+            assert h.quantile(1.0) == max(values)
+            assert all(0.0 <= e <= max(values) for e in estimates)
+            assert h.count == len(values)
+        else:
+            assert estimates == [0.0] * len(qs)
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+class TestRegistry:
+
+    def test_register_snapshot_collect(self):
+        registry = MetricsRegistry()
+        c = Counter("hits", "hits total")
+        c.inc(2)
+        registry.register("demo", SimpleProvider(c))
+        assert registry.groups() == ["demo"]
+        assert registry.snapshot() == {"demo": {"hits": 2}}
+        assert [(g, m.name) for g, m in registry.collect()] == [("demo", "hits")]
+
+    def test_reregistering_replaces_the_provider(self):
+        registry = MetricsRegistry()
+        first, second = Counter("hits"), Counter("hits")
+        second.inc(9)
+        registry.register("demo", SimpleProvider(first))
+        registry.register("demo", SimpleProvider(second))
+        assert registry.snapshot() == {"demo": {"hits": 9}}
+        assert registry.groups() == ["demo"]
+
+    def test_provider_protocol_enforced(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError):
+            registry.register("demo", object())
+        with pytest.raises(ValueError):
+            registry.register("", SimpleProvider())
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        registry.register("demo", SimpleProvider())
+        registry.unregister("demo")
+        registry.unregister("demo")        # idempotent
+        assert registry.groups() == []
+        assert registry.group("demo") is None
+
+    def test_simple_provider_snapshot_shapes(self):
+        hist = Histogram("lag", bounds=(1, 10))
+        hist.observe(4)
+        labelled = Counter("probes", labelnames=("tld",))
+        labelled.labels("com").inc(2)
+        plain = Counter("hits")
+        snap = SimpleProvider(hist, labelled, plain).snapshot()
+        assert snap["lag"]["count"] == 1
+        assert snap["probes"] == {"com": 2}
+        assert snap["hits"] == 0
+
+    def test_process_registry_carries_the_span_tracer(self):
+        assert get_registry().group("spans") is tracer()
+
+
+# --------------------------------------------------------------------------
+# Spans: nesting, exceptions, sinks, provider protocol
+# --------------------------------------------------------------------------
+
+class TestSpans:
+
+    def test_nesting_records_parent_and_depth(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert outer.span_id == 0 and outer.parent_id is None
+        assert outer.depth == 0
+        assert inner.parent_id == outer.span_id and inner.depth == 1
+        # Finish order: the inner span completes first.
+        assert [s.name for s in t.spans] == ["inner", "outer"]
+
+    def test_span_ids_are_sequential_not_random(self):
+        t = Tracer()
+        for _ in range(3):
+            with t.span("p"):
+                pass
+        assert [s.span_id for s in t.spans] == [0, 1, 2]
+
+    def test_exception_recorded_and_reraised(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with t.span("pipeline.validate"):
+                raise RuntimeError("boom")
+        finished = t.spans[0]
+        assert finished.error == "RuntimeError"
+        assert t.phase_totals()["pipeline.validate"]["errors"] == 1
+
+    def test_base_exception_also_recorded(self):
+        t = Tracer()
+        with pytest.raises(KeyboardInterrupt):
+            with t.span("p"):
+                raise KeyboardInterrupt()
+        assert t.spans[0].error == "KeyboardInterrupt"
+
+    def test_exception_in_nested_span_unwinds_the_stack(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise ValueError("inner boom")
+        inner, outer = t.spans
+        assert inner.error == "ValueError"
+        assert outer.error == "ValueError"     # propagated through both
+        with t.span("after") as after:
+            pass
+        assert after.depth == 0                # the stack fully unwound
+
+    def test_annotations_and_sim_time(self):
+        t = Tracer()
+        with t.span("build.populate_tld", tld="com") as sp:
+            sp.annotate(sim_sec=_DAY, nrd=120)
+        with t.span("build.populate_tld", tld="net") as sp:
+            sp.annotate(sim_sec=2 * _DAY)
+        totals = t.phase_totals()["build.populate_tld"]
+        assert totals["count"] == 2
+        assert totals["sim_sec"] == 3 * _DAY
+        record = t.spans[0].as_dict()
+        assert record["labels"] == {"tld": "com"}
+        assert record["annotations"] == {"nrd": 120}
+
+    def test_labels_coerced_to_strings(self):
+        t = Tracer()
+        with t.span("build.merge_shards", jobs=4):
+            pass
+        assert t.spans[0].labels == {"jobs": "4"}
+
+    def test_disabled_tracer_yields_null_span(self):
+        t = Tracer(enabled=False)
+        with t.span("p") as sp:
+            assert sp.annotate(sim_sec=1, extra="x") is sp
+        assert t.spans == []
+        assert t.phase_totals() == {}
+
+    def test_callable_sink_streams_events(self):
+        events = []
+        t = Tracer(sink=events.append)
+        with t.span("p"):
+            pass
+        assert len(events) == 1 and events[0]["span"] == "p"
+
+    def test_path_sink_and_to_jsonl(self, tmp_path):
+        live = tmp_path / "live.jsonl"
+        t = Tracer(sink=str(live))
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        t.close_sink()
+        streamed = [json.loads(line) for line in live.read_text().splitlines()]
+        assert [e["span"] for e in streamed] == ["b", "a"]
+        dumped = tmp_path / "dump.jsonl"
+        assert t.to_jsonl(dumped) == 2
+        assert streamed == [json.loads(line)
+                            for line in dumped.read_text().splitlines()]
+
+    def test_wrap_decorator(self):
+        t = Tracer()
+
+        @t.wrap("feed.load")
+        def load():
+            return 42
+
+        assert load() == 42
+        assert t.phase_totals()["feed.load"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        t = Tracer()
+        with t.span("p"):
+            pass
+        t.reset()
+        assert t.spans == [] and t.phase_totals() == {}
+        with t.span("q") as sp:
+            pass
+        assert sp.span_id == 0                 # ids restart
+
+    def test_provider_protocol(self):
+        t = Tracer()
+        with t.span("p"):
+            pass
+        assert t.snapshot() == t.phase_totals()
+        assert {m.name for m in t.metrics()} == {
+            "span_calls", "span_wall_seconds", "span_errors",
+            "span_peak_rss_kb"}
+        assert t.spans[0].peak_rss_kb > 0
+        assert t.spans[0].wall_sec >= 0.0
+
+
+# --------------------------------------------------------------------------
+# Exposition: escaping, round-trip, lint
+# --------------------------------------------------------------------------
+
+#: Label values mixing benign text with the three escaped characters.
+_label_values = st.tuples(
+    st.text(alphabet=st.characters(blacklist_categories=("Cc", "Cs")),
+            max_size=20),
+    st.sampled_from(["", '"', "\\", "\n", '\\n"', 'a\\"b', "\n\n\\"]),
+).map("".join)
+
+
+class TestExposition:
+
+    def test_escape_explicit(self):
+        assert escape_label_value('a"b\nc\\d') == 'a\\"b\\nc\\\\d'
+        assert unescape_label_value('a\\"b\\nc\\\\d') == 'a"b\nc\\d'
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_escape_round_trip(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    @given(_label_values)
+    @settings(max_examples=100, deadline=None)
+    def test_exposition_parse_round_trip(self, value):
+        c = Counter("probes", "probes sent", labelnames=("tld",))
+        c.labels(value).inc(3)
+        registry = MetricsRegistry()
+        registry.register("demo", SimpleProvider(c))
+        text = to_prometheus(registry)
+        assert lint_prometheus(text) == []
+        families = parse_prometheus(text)
+        ((name, labels, sampled),) = families["repro_demo_probes"]["samples"]
+        assert name == "repro_demo_probes"
+        assert labels == {"tld": value}
+        assert sampled == 3
+
+    def test_histogram_exposition_lints_clean(self):
+        h = Histogram("lag", bounds=(1, 10, 60), help="probe lag")
+        for value in (0.5, 2, 30, 200):
+            h.observe(value)
+        registry = MetricsRegistry()
+        registry.register("scan", SimpleProvider(h))
+        text = to_prometheus(registry)
+        assert lint_prometheus(text) == []
+        samples = parse_prometheus(text)["repro_scan_lag"]["samples"]
+        buckets = [(labels["le"], value) for name, labels, value in samples
+                   if name.endswith("_bucket")]
+        assert buckets == [("1", 1), ("10", 2), ("60", 3), ("+Inf", 4)]
+        by_name = {name: value for name, labels, value in samples
+                   if not name.endswith("_bucket")}
+        assert by_name["repro_scan_lag_count"] == 4
+        assert by_name["repro_scan_lag_sum"] == pytest.approx(232.5)
+
+    def test_metric_names_sanitized(self):
+        c = Counter("weird.name-1")
+        registry = MetricsRegistry()
+        registry.register("my group", SimpleProvider(c))
+        text = to_prometheus(registry)
+        assert "repro_my_group_weird_name_1 0" in text
+        assert lint_prometheus(text) == []
+
+    def test_lint_catches_format_violations(self):
+        assert lint_prometheus("what is this\n")          # unparseable
+        assert lint_prometheus("orphan 1\n") == [
+            "sample orphan before its # TYPE line",
+            "orphan: no # TYPE line"]
+        assert lint_prometheus(
+            "# TYPE m wat\nm 1\n") == ["m: unknown type 'wat'"]
+        assert lint_prometheus(
+            "# TYPE m counter\nm 1\nm 1\n") == ["m: duplicate sample {}"]
+        broken_hist = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'     # not monotone
+            "h_sum 9\n"
+            "h_count 3\n")
+        assert lint_prometheus(broken_hist) == ["h: bucket counts not monotone"]
+        no_sum = ("# TYPE h histogram\n"
+                  'h_bucket{le="+Inf"} 3\n'
+                  "h_count 3\n")
+        assert lint_prometheus(no_sum) == ["h: missing h_sum"]
+
+    def test_global_registry_exposition_lints_clean(self):
+        with tracer().span("test.lint"):
+            pass
+        text = to_prometheus()
+        assert lint_prometheus(text) == []
+        snap = json.loads(to_json())
+        assert "spans" in snap
+
+
+# --------------------------------------------------------------------------
+# Standing observers
+# --------------------------------------------------------------------------
+
+class TestRollingBaseline:
+
+    def test_window_eviction(self):
+        baseline = RollingBaseline(window=30)
+        for value in range(1, 41):
+            baseline.push(value)
+        assert len(baseline) == 30
+        assert baseline.mean == pytest.approx(sum(range(11, 41)) / 30)
+
+    def test_constant_series_has_zero_std(self):
+        baseline = RollingBaseline(window=5)
+        for _ in range(10):
+            baseline.push(7.0)
+        assert baseline.std == 0.0
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RollingBaseline(window=1)
+
+
+class TestSeriesObserver:
+
+    def test_min_points_guard(self):
+        obs = SeriesObserver("s", min_points=7)
+        for day in range(6):
+            assert obs.observe(day * _DAY, 100) == []
+        # The 7th point would be anomalous, but the baseline is still
+        # too thin to trust.
+        assert obs.observe(6 * _DAY, 100000) == []
+
+    def test_burst_fires_both_detectors(self):
+        obs = SeriesObserver("s", min_points=7)
+        for day in range(10):
+            obs.observe(day * _DAY, 100)
+        found = obs.observe(10 * _DAY, 900)
+        assert [a.kind for a in found] == ["zscore", "step"]
+        assert all(a.value == 900 for a in found)
+
+    def test_drop_fires_negative_zscore(self):
+        obs = SeriesObserver("s", min_points=7)
+        for day in range(10):
+            obs.observe(day * _DAY, 100)
+        found = obs.observe(10 * _DAY, 0)
+        kinds = {a.kind: a for a in found}
+        assert kinds["zscore"].score < 0
+        # -100% stays under the 200% step threshold.
+        assert "step" not in kinds
+
+    def test_weekly_rhythm_stays_quiet(self):
+        # A weekday plateau with weekend dips — normal NRD weather.
+        week = [100, 102, 98, 101, 99, 60, 55]
+        obs = SeriesObserver("s", min_points=7)
+        found = []
+        for day in range(8 * 7):
+            found.extend(obs.observe(day * _DAY, week[day % 7]))
+        assert found == []
+
+    def test_step_min_delta_gates_sparse_series(self):
+        points = [0, 0, 1, 0, 0, 1, 0, 0, 1]
+        loose = SeriesObserver("s", min_points=7)
+        fired = []
+        for day, value in enumerate(points):
+            fired.extend(loose.observe(day * _DAY, value))
+        assert any(a.kind == "step" for a in fired)       # 300% of 0.25
+        gated = SeriesObserver("s", min_points=7, step_min_delta=10.0)
+        fired = []
+        for day, value in enumerate(points):
+            fired.extend(gated.observe(day * _DAY, value))
+        assert fired == []
+
+    def test_out_of_order_points_rejected(self):
+        obs = SeriesObserver("s")
+        obs.observe(2 * _DAY, 1)
+        obs.observe(2 * _DAY, 1)               # equal ts is fine
+        with pytest.raises(ValueError):
+            obs.observe(_DAY, 1)
+
+    def test_shift_absorbed_as_new_normal(self):
+        obs = SeriesObserver("s", window=10, min_points=5)
+        for day in range(10):
+            obs.observe(day * _DAY, 100)
+        day = 10
+        assert obs.observe(day * _DAY, 1000)   # leading edge fires
+        quiet_again = []
+        for offset in range(1, 15):
+            quiet_again = obs.observe((day + offset) * _DAY, 1000)
+        assert quiet_again == []               # the shift is the new normal
+
+
+class TestObserverSuite:
+
+    def _quiet_then_burst(self, suite, series, burst_ts):
+        for day in range(10):
+            suite.ingest(series, day * _DAY, 100)
+        return suite.ingest(series, burst_ts, 900)
+
+    def test_mass_event_fires_once_per_instant(self):
+        suite = ObserverSuite(min_points=7, mass_event_k=2)
+        burst_ts = 10 * _DAY
+        assert self._quiet_then_burst(suite, "a", burst_ts)
+        assert suite.mass_events == []         # one series is not mass
+        assert self._quiet_then_burst(suite, "b", burst_ts)
+        assert len(suite.mass_events) == 1
+        assert suite.mass_events[0].series == ("a", "b")
+        assert self._quiet_then_burst(suite, "c", burst_ts)
+        assert len(suite.mass_events) == 1     # the k-th join already fired
+        assert int(suite.mass_event_counter.value) == 1
+
+    def test_anomaly_counter_labelled_by_series_and_kind(self):
+        suite = ObserverSuite(min_points=7)
+        self._quiet_then_burst(suite, "a", 10 * _DAY)
+        labelled = {child._labelvalues: child.value
+                    for child in suite.anomaly_counter.children()}
+        assert labelled == {("a", "zscore"): 1, ("a", "step"): 1}
+
+    def test_add_series_overrides_and_duplicates(self):
+        suite = ObserverSuite(sigma_mult=4.0)
+        custom = suite.add_series("sparse", std_floor=5.0)
+        assert suite.observer("sparse") is custom
+        assert custom.std_floor == 5.0
+        assert suite.observer("auto").sigma_mult == 4.0
+        with pytest.raises(ValueError):
+            suite.add_series("sparse")
+
+    def test_provider_protocol(self):
+        suite = ObserverSuite(min_points=7)
+        self._quiet_then_burst(suite, "a", 10 * _DAY)
+        snap = suite.snapshot()
+        assert snap["anomalies"] == 2 and snap["mass_events"] == 0
+        assert snap["series"]["a"]["points"] == 11
+        assert len(snap["recent"]) == 2
+        assert {m.name for m in suite.metrics()} == {"anomalies", "mass_events"}
+        registry = MetricsRegistry()
+        registry.register("observers", suite)
+        assert lint_prometheus(to_prometheus(registry)) == []
+
+
+class TestDailyCounts:
+
+    def test_empty(self):
+        assert daily_counts([]) == []
+
+    def test_zero_fill_between_first_and_last_day(self):
+        stamps = [10, 20, 3 * _DAY + 5]
+        assert daily_counts(stamps) == [
+            (0, 2), (_DAY, 0), (2 * _DAY, 0), (3 * _DAY, 1)]
+
+
+# --------------------------------------------------------------------------
+# The pipeline hook: quiet default world, loud perturbed world
+# --------------------------------------------------------------------------
+
+class TestPipelineObservers:
+
+    def test_default_world_stays_quiet(self, small_result):
+        suite = default_pipeline_suite()
+        found = observe_pipeline_result(suite, small_result)
+        assert found == []
+        assert suite.mass_events == []
+        # The suite really watched a quarter's worth of daily points.
+        assert suite.observer("registrations").points >= 85
+
+    def test_registration_burst_fires_zscore(self, small_result):
+        days = daily_counts(
+            c.ct_seen_at for c in small_result.candidates.values())
+        burst = [(ts, value * 8 if i == 60 else value)
+                 for i, (ts, value) in enumerate(days)]
+        suite = default_pipeline_suite()
+        found = suite.ingest_series("registrations", burst)
+        assert "zscore" in {a.kind for a in found}
+        assert all(a.ts == days[60][0] for a in found)
+
+    def test_simultaneous_bursts_raise_a_mass_event(self, small_result):
+        days = daily_counts(
+            c.ct_seen_at for c in small_result.candidates.values())
+        burst_ts = days[60][0]
+        burst = [(ts, value * 8 if ts == burst_ts else value)
+                 for ts, value in days]
+        suite = default_pipeline_suite()
+        suite.ingest_series("registrations", burst)
+        # A dark-host spike the same day: 60 never-resolved domains
+        # against a zero baseline clears the sparse-series std floor.
+        dark = [(ts, 60 if ts == burst_ts else 0) for ts, _ in days]
+        suite.ingest_series("dark_hosts", dark)
+        assert len(suite.mass_events) == 1
+        assert suite.mass_events[0].series == ("dark_hosts", "registrations")
+
+    def test_pipeline_hook_annotates_result_stats(self, tiny_world):
+        suite = default_pipeline_suite()
+        result = DarkDNSPipeline(tiny_world, observers=suite).run()
+        assert result.stats["anomalies"] == 0
+        assert result.stats["mass_events"] == 0
+
+    def test_without_observers_stats_untouched(self, small_result):
+        assert "anomalies" not in small_result.stats
+        assert "mass_events" not in small_result.stats
+
+
+# --------------------------------------------------------------------------
+# Resolver fleet stats: reset without double-counting + pull gauges
+# --------------------------------------------------------------------------
+
+class TestResolverStatsReset:
+
+    @staticmethod
+    def _bump(resolver, queries):
+        resolver.stats.queries += queries
+        resolver.stats.cache_hits += queries // 2
+
+    def test_reset_retires_the_window(self):
+        pool = ResolverPool(size=2)
+        self._bump(pool.resolvers[0], 10)
+        self._bump(pool.resolvers[1], 4)
+        closed = pool.reset_stats()
+        assert closed.queries == 14
+        assert pool.aggregate_stats(include_retired=False).queries == 0
+        assert pool.aggregate_stats().queries == 14
+
+    def test_totals_survive_repeated_resets(self):
+        pool = ResolverPool(size=2)
+        for _ in range(3):
+            self._bump(pool.resolvers[0], 10)
+            pool.reset_stats()
+        self._bump(pool.resolvers[1], 5)
+        # 3 retired windows + 1 live window, each query counted once.
+        assert pool.aggregate_stats().queries == 35
+        assert pool.total_queries() == 35
+
+    def test_lifetime_stats_per_resolver(self):
+        resolver = ResolverPool(size=1).resolvers[0]
+        self._bump(resolver, 6)
+        resolver.reset_stats()
+        self._bump(resolver, 4)
+        assert resolver.stats.queries == 4
+        assert resolver.lifetime_stats().queries == 10
+
+    def test_pool_metrics_pull_live_state(self):
+        pool = ResolverPool(size=3)
+        metrics = ResolverPoolMetrics(pool)
+        assert metrics.snapshot()["pool_size"] == 3
+        assert metrics.fleet.labels("queries").value == 0
+        self._bump(pool.resolvers[0], 8)
+        # No push happened: the gauge reads the pool at access time.
+        assert metrics.fleet.labels("queries").value == 8
+        pool.reset_stats()
+        assert metrics.fleet.labels("queries").value == 8
+        assert metrics.snapshot()["cache_hits"] == 4
+        registry = MetricsRegistry()
+        registry.register("scan.resolver", metrics)
+        assert lint_prometheus(to_prometheus(registry)) == []
+
+
+# --------------------------------------------------------------------------
+# Adapters and determinism
+# --------------------------------------------------------------------------
+
+class TestAdaptersAndDeterminism:
+
+    def test_old_import_paths_reexport_the_primitives(self):
+        from repro.scan import metrics as scan_metrics
+        from repro.serve import metrics as serve_metrics
+        assert serve_metrics.Counter is Counter
+        assert serve_metrics.Histogram is Histogram
+        assert scan_metrics.Counter is Counter
+        assert scan_metrics.Histogram is Histogram
+
+    def test_adapters_satisfy_the_provider_protocol(self):
+        from repro.scan.metrics import ScanMetrics
+        from repro.serve.metrics import ServeMetrics
+        for provider in (ScanMetrics(), ServeMetrics()):
+            registry = MetricsRegistry()
+            registry.register("x", provider)
+            assert isinstance(provider.snapshot(), dict)
+            assert lint_prometheus(to_prometheus(registry)) == []
+
+    def test_fingerprint_identical_with_tracing_disabled(self, tiny_world):
+        """Instrumentation must never perturb a sampled value."""
+        from repro.obs import set_enabled
+        config = ScenarioConfig(seed=11, scale=1 / 5000,
+                                tlds=["com", "xyz"], include_cctld=False)
+        set_enabled(False)
+        try:
+            dark_build = build_world(config)
+        finally:
+            set_enabled(True)
+        assert world_fingerprint(dark_build) == world_fingerprint(tiny_world)
