@@ -37,6 +37,9 @@ except ImportError:  # standalone bench CLI usage
 #: Committed perf baselines live next to the benches that produce them.
 BASELINE_DIR = Path(__file__).resolve().parent
 
+#: Append-only perf history: one compact record per --check-baseline run.
+TREND_PATH = BASELINE_DIR / "TREND.jsonl"
+
 #: Fail when a lower-is-better metric regresses by more than this factor
 #: against the committed baseline (see module docstring).
 REGRESSION_TOLERANCE = 2.0
@@ -55,6 +58,21 @@ def write_baseline(name: str, payload: dict) -> Path:
     path = BASELINE_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def append_trend(record: dict) -> Path:
+    """Append one compact run record to ``benchmarks/TREND.jsonl``.
+
+    Where ``BENCH_<name>.json`` holds only the *latest* committed data
+    point, the trend file is the append-only history: every
+    ``--check-baseline`` run adds one line (timestamp, git rev,
+    measurement point, key metrics, fingerprint, pass/fail), so the
+    perf trajectory across PRs and CI runs can be plotted from one
+    file.  Records are single-line JSON, oldest first.
+    """
+    with TREND_PATH.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return TREND_PATH
 
 
 def check_against_baseline(name: str, report: dict,

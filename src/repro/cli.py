@@ -26,13 +26,22 @@ Commands
     in the Prometheus text exposition format (``--format prom``).
 
 ``reproduce`` / ``scan`` / ``serve`` also accept ``--metrics-out PATH``
-to write the registry snapshot (JSON) next to their normal output; see
-``docs/observability.md``.
+to write the registry snapshot (JSON) next to their normal output,
+plus the diagnosis flags (``docs/observability.md``):
+
+* ``--profile-out PATH`` — sample the run with the built-in profiler
+  (:mod:`repro.obs.profiler`) and write flamegraph-collapsed stacks;
+* ``--log-json PATH`` — append every log event as one JSON object per
+  line (the human-readable stderr rendering stays on either way);
+* ``--heartbeat SECONDS`` / ``--quiet`` — tune or suppress the live
+  progress line rendered on TTYs during long builds.
 
 Error reporting is uniform across subcommands: bad user input (flag
 values, filter specs, durations, paths) exits 2 with one clean line on
 stderr — argparse-level validation and :class:`~repro.errors.ReproError`
-/ :class:`OSError` raised later share that same contract.
+/ :class:`OSError` raised later share that same contract.  All stderr
+output flows through the structured log router (logger ``cli``), so
+``--log-json`` captures it with span/trace correlation ids attached.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ import argparse
 import json
 import sys
 import time
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro._version import __version__
@@ -51,12 +61,17 @@ from repro.core.ctdetect import CTDetector
 from repro.core.pipeline import DarkDNSPipeline
 from repro.errors import ReproError
 from repro.obs.exposition import to_json, to_prometheus
+from repro.obs.log import get_logger, router
 from repro.obs.metrics import get_registry
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.progress import Heartbeat
 from repro.scan import ProbeResultStore, ScanConfig, ScanEngine
 from repro.serve import FeedServer, FeedServerConfig, FilterSpec
 from repro.simtime.clock import DAY, Window, parse_duration
 from repro.simtime.rng import spawn
 from repro.workload.scenario import ScenarioConfig, build_world
+
+log = get_logger("cli")
 
 
 def _positive_int(text: str) -> int:
@@ -121,20 +136,83 @@ def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
                              "the phase spans) to PATH")
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The diagnosis flags shared by reproduce / scan / serve."""
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="sample the run with the built-in profiler "
+                             "and write flamegraph-collapsed stacks "
+                             "(phase-rooted) to PATH")
+    parser.add_argument("--profile-interval", type=_positive_float,
+                        default=SamplingProfiler.DEFAULT_INTERVAL,
+                        metavar="SECONDS",
+                        help="seconds between profiler samples (default "
+                             f"{SamplingProfiler.DEFAULT_INTERVAL})")
+    parser.add_argument("--log-json", metavar="PATH", default=None,
+                        help="append every log event as one JSON object "
+                             "per line to PATH (stderr rendering stays on)")
+    parser.add_argument("--heartbeat", type=_positive_float, default=10.0,
+                        metavar="SECONDS",
+                        help="seconds between live progress lines on a "
+                             "TTY (default 10)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress info-level stderr output and the "
+                             "heartbeat (warnings and errors stay)")
+
+
+@contextmanager
+def _instrumented(args: argparse.Namespace):
+    """Run one subcommand under the diagnosis wiring of its obs flags.
+
+    Attaches the ``--log-json`` sink, raises the stderr threshold under
+    ``--quiet``, starts the TTY heartbeat and the ``--profile-out``
+    profiler — and undoes all of it on the way out (the router's level
+    and sink are process-global; a CLI invocation must not leak its
+    settings into an embedding process or the next test).
+    """
+    route = router()
+    prev_level = route.level
+    if args.quiet:
+        route.set_level("warning")
+    if args.log_json is not None:
+        route.open_json(args.log_json)
+    heartbeat = (Heartbeat(interval=args.heartbeat).start()
+                 if Heartbeat.wanted(quiet=args.quiet) else None)
+    profiler = (SamplingProfiler(interval=args.profile_interval).start()
+                if args.profile_out is not None else None)
+    try:
+        yield
+        if profiler is not None:
+            profiler.stop()
+            lines = profiler.write_collapsed(args.profile_out)
+            log.info(f"wrote {lines} collapsed stacks "
+                     f"({profiler.samples:,} samples) to {args.profile_out}",
+                     samples=profiler.samples, stacks=lines)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+        if heartbeat is not None:
+            heartbeat.stop()
+        if args.log_json is not None:
+            route.close_json()
+        route.set_level(prev_level)
+
+
 def _write_metrics_out(path: Optional[str]) -> None:
     if path is None:
         return
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(to_json(get_registry()) + "\n")
-    print(f"wrote metrics snapshot to {path}", file=sys.stderr)
+    log.info(f"wrote metrics snapshot to {path}")
 
 
 def cmd_reproduce(args: argparse.Namespace) -> int:
     start = time.time()
     world = _world_from(args, cctld_scale=1.0 if not args.no_cctld else None)
-    print(f"world: {world.registries.total_registrations():,} registrations, "
-          f"{world.certstream.event_count():,} CT entries "
-          f"({time.time() - start:.1f}s)", file=sys.stderr)
+    log.info(f"world: {world.registries.total_registrations():,} "
+             f"registrations, {world.certstream.event_count():,} CT entries "
+             f"({time.time() - start:.1f}s)",
+             registrations=world.registries.total_registrations(),
+             ct_entries=world.certstream.event_count())
     result = DarkDNSPipeline(world).run()
     print(render_reports(full_report(world, result)))
     _write_metrics_out(args.metrics_out)
@@ -146,7 +224,7 @@ def cmd_feed(args: argparse.Namespace) -> int:
     pipeline = DarkDNSPipeline(world)
     pipeline.run()
     count = pipeline.feed.to_jsonl(args.output)
-    print(f"wrote {count:,} records to {args.output}", file=sys.stderr)
+    log.info(f"wrote {count:,} records to {args.output}", records=count)
     return 0
 
 
@@ -197,8 +275,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         _register_serve_clients(server, args, tlds=[])
         count = server.replay(args.replay)
         now = server.last_ingested_ts
-        print(f"replayed {count:,} records from {args.replay} "
-              f"({server.replay_skipped} skipped)", file=sys.stderr)
+        log.info(f"replayed {count:,} records from {args.replay} "
+                 f"({server.replay_skipped} skipped)",
+                 records=count, skipped=server.replay_skipped)
     else:
         world = _world_from(args)
         server = FeedServer(broker=world.broker, config=config)
@@ -206,11 +285,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                 tlds=sorted(world.registries.tlds()))
         start = time.time()
         DarkDNSPipeline(world).run()
-        print(f"pipeline done in {time.time() - start:.1f}s; serving to "
-              f"{server.client_count} clients", file=sys.stderr)
+        log.info(f"pipeline done in {time.time() - start:.1f}s; serving to "
+                 f"{server.client_count} clients",
+                 clients=server.client_count)
         served = server.run_live(poll_interval=args.poll_interval)
-        print(f"served {served:,} records across the window",
-              file=sys.stderr)
+        log.info(f"served {served:,} records across the window",
+                 records=served)
         now = server.last_ingested_ts
 
     server.drain_until_empty(now, max_rounds=5000, tick=60)
@@ -219,9 +299,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     counts = server.fanout.delivered_counts()
     receiving = sum(1 for n in counts.values() if n > 0)
-    print(f"{receiving}/{args.clients} subscribers received records; "
-          f"compaction dropped {compacted:,} superseded records",
-          file=sys.stderr)
+    log.info(f"{receiving}/{args.clients} subscribers received records; "
+             f"compaction dropped {compacted:,} superseded records",
+             receiving=receiving, compacted=compacted)
     print(json.dumps(server.snapshot(), indent=2, sort_keys=True))
     _write_metrics_out(args.metrics_out)
     return 0
@@ -246,23 +326,24 @@ def cmd_scan(args: argparse.Namespace) -> int:
     store = ProbeResultStore() if args.store else None
     engine = ScanEngine(world.registries, config,
                         broker=world.broker, store=store)
-    print(f"scanning {len(candidates):,} CT candidates "
-          f"({config.duration // 3600}h window, "
-          f"{config.probe_interval // 60}-min grid, "
-          f"{config.workers} workers)", file=sys.stderr)
+    log.info(f"scanning {len(candidates):,} CT candidates "
+             f"({config.duration // 3600}h window, "
+             f"{config.probe_interval // 60}-min grid, "
+             f"{config.workers} workers)", candidates=len(candidates))
     start = time.time()
     reports = engine.observe_all(
         {d: c.ct_seen_at for d, c in candidates.items()})
     elapsed = time.time() - start
     resolved = sum(1 for r in reports.values() if r.ever_resolved)
-    print(f"scanned {len(reports):,} domains "
-          f"({resolved:,} ever resolved) with "
-          f"{engine.metrics.probes_sent.value:,} probes "
-          f"in {elapsed:.1f}s", file=sys.stderr)
+    log.info(f"scanned {len(reports):,} domains "
+             f"({resolved:,} ever resolved) with "
+             f"{engine.metrics.probes_sent.value:,} probes "
+             f"in {elapsed:.1f}s",
+             scanned=len(reports), resolved=resolved)
     if args.store:
         store.save(args.store)
-        print(f"wrote {len(store):,} probe outcomes to {args.store}",
-              file=sys.stderr)
+        log.info(f"wrote {len(store):,} probe outcomes to {args.store}",
+                 outcomes=len(store))
     print(json.dumps(engine.snapshot(), indent=2, sort_keys=True))
     _write_metrics_out(args.metrics_out)
     return 0
@@ -301,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="run everything, print paper-vs-measured")
     _add_world_args(p_repro)
     _add_metrics_out(p_repro)
+    _add_obs_args(p_repro)
     p_repro.set_defaults(func=cmd_reproduce)
 
     p_feed = sub.add_parser("feed", help="write the public NRD feed (JSONL)")
@@ -344,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated time between client polls "
                               "during live replay (default 3600)")
     _add_metrics_out(p_serve)
+    _add_obs_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_scan = sub.add_parser(
@@ -375,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "consecutive NXDOMAIN instants "
                              "(default: keep probing)")
     _add_metrics_out(p_scan)
+    _add_obs_args(p_scan)
     p_scan.set_defaults(func=cmd_scan)
 
     p_metrics = sub.add_parser(
@@ -391,13 +475,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if hasattr(args, "profile_out"):
+            with _instrumented(args):
+                return args.func(args)
         return args.func(args)
     except (ReproError, OSError) as exc:
         # The uniform user-error contract shared by every subcommand:
         # bad input (filter specs, durations, paths, config values)
         # gets one clean line and exit code 2, never a traceback —
         # matching argparse's own behaviour for flag-level errors.
-        print(f"error: {exc}", file=sys.stderr)
+        # Error-level events bypass the router's duplicate suppression,
+        # so the line always appears.
+        log.error(str(exc))
         return 2
 
 

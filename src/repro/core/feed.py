@@ -9,13 +9,15 @@ records with JSONL round-tripping so downstream users can replay it.
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.records import Candidate
+from repro.obs.log import get_logger
 from repro.simtime.clock import DAY, day_floor, isoformat
+
+log = get_logger("core.feed")
 
 
 @dataclass(frozen=True)
@@ -123,7 +125,8 @@ class PublicFeed:
 
         Real archive files get truncated and corrupted; one bad line
         must not lose the rest of the feed.  Skipped lines are counted
-        in :attr:`load_errors` and reported once via :mod:`warnings`.
+        in :attr:`load_errors` and reported once through the
+        structured log (level ``warning``, logger ``core.feed``).
         The loaded feed is re-finalized so ordering invariants hold
         even for archives written out of order.
         """
@@ -134,8 +137,7 @@ class PublicFeed:
             feed._domains.add(record.domain)
         feed.load_errors = skipped
         if skipped:
-            warnings.warn(
-                f"{path}: skipped {skipped} malformed feed line(s)",
-                stacklevel=2)
+            log.warning(f"{path}: skipped {skipped} malformed feed line(s)",
+                        skipped=skipped)
         feed.finalize()
         return feed

@@ -9,7 +9,13 @@ The cross-cutting observability layer (see ``docs/observability.md``):
 * :mod:`repro.obs.exposition` — Prometheus text + JSON snapshot
   renderings of the registry (and the parse/lint inverses);
 * :mod:`repro.obs.observers` — standing observers: rolling baselines,
-  z-score / step-change significance, mass-event triggers.
+  z-score / step-change significance, mass-event triggers;
+* :mod:`repro.obs.profiler` — sampling profiler with span-phase
+  attribution and flamegraph-collapsed output;
+* :mod:`repro.obs.log` — structured logging with span/trace
+  correlation ids and rate-limited duplicate suppression;
+* :mod:`repro.obs.progress` — live pull gauges + the heartbeat
+  reporter for long builds.
 
 ``repro.obs`` sits at the very top of the layer map: it imports
 nothing from the rest of ``repro`` (stdlib only) so every layer —
@@ -42,6 +48,9 @@ from repro.obs.observers import (
     observe_pipeline_result,
     observe_scan_reports,
 )
+from repro.obs.profiler import SamplingProfiler, profiling
+from repro.obs.log import LogRouter, configure, get_logger
+from repro.obs.progress import BuildProgress, Heartbeat, build_progress
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "SimpleProvider",
@@ -51,4 +60,7 @@ __all__ = [
     "Anomaly", "MassEvent", "RollingBaseline", "SeriesObserver",
     "ObserverSuite", "daily_counts", "default_pipeline_suite",
     "observe_pipeline_result", "observe_scan_reports",
+    "SamplingProfiler", "profiling",
+    "LogRouter", "configure", "get_logger",
+    "BuildProgress", "Heartbeat", "build_progress",
 ]

@@ -29,7 +29,9 @@ from repro.errors import ConfigError, ValidationError
 from repro.intel.blocklist import BlocklistPanel
 from repro.intel.labels import GroundTruth
 from repro.intel.nod import NODFeed
-from repro.obs.spans import span
+from repro.obs.profiler import SamplingProfiler, active as profiler_active
+from repro.obs.progress import build_progress
+from repro.obs.spans import Span, span, tracer
 from repro.registry.lifecycle import DomainLifecycle, RemovalReason
 from repro.registry.policy import DEFAULT_POLICIES, policy_for
 from repro.registry.registrar import TakedownModel
@@ -499,7 +501,8 @@ def _populate_tld(config: ScenarioConfig, tld_targets: TLDTargets,
 # Multi-core build: per-TLD worker shards + canonical-order merge
 # ---------------------------------------------------------------------------
 
-def _build_tld_shard(payload: Tuple[ScenarioConfig, TLDTargets, int]):
+def _build_tld_shard(
+        payload: Tuple[ScenarioConfig, TLDTargets, int, Optional[float]]):
     """Worker entry point: build one TLD against private substrates.
 
     Runs in a pool process.  Reconstructs the scenario's stream bank
@@ -509,8 +512,22 @@ def _build_tld_shard(payload: Tuple[ScenarioConfig, TLDTargets, int]):
     rows, dirty zone ticks, DZDB intervals, DV-token seeds (by CA
     index), certificate-request events, and counters.  No lifecycle,
     CA, or timeline object crosses the process boundary.
+
+    The worker instruments itself: its (forked) process tracer is
+    reset and records a ``build.populate_tld`` span, and when the
+    parent build is being profiled (``profile_interval`` is set) it
+    runs its own :class:`SamplingProfiler`.  Finished span records and
+    collapsed-stack counts ride back in the shard result for the
+    parent to stitch (:meth:`Tracer.adopt_spans` /
+    :meth:`SamplingProfiler.merge_counts`).
     """
-    config, tld_targets, capick_offset = payload
+    config, tld_targets, capick_offset, profile_interval = payload
+    trace = tracer()
+    trace.detach_sink()   # the inherited sink handle belongs to the parent
+    trace.reset()
+    profiler: Optional[SamplingProfiler] = None
+    if profile_interval is not None:
+        profiler = SamplingProfiler(interval=profile_interval).start()
     was_enabled = gc.isenabled()
     if was_enabled:
         # Same rationale as the parent's _gc_paused: everything this
@@ -527,14 +544,22 @@ def _build_tld_shard(payload: Tuple[ScenarioConfig, TLDTargets, int]):
         tokens: List[Tuple[int, str, int]] = []
         cert_events: List[CertEvent] = []
         stats = dict.fromkeys(_STAT_KEYS, 0)
-        _populate_tld(
-            config, tld_targets, bank, registry, dzdb,
-            lambda index, domain, ts: tokens.append((index, domain, ts)),
-            cert_events, stats)
+        with span("build.populate_tld", tld=tld_targets.tld) as sp:
+            _populate_tld(
+                config, tld_targets, bank, registry, dzdb,
+                lambda index, domain, ts: tokens.append((index, domain, ts)),
+                cert_events, stats)
+            sp.annotate(nrd=tld_targets.total_nrd)
+        if profiler is not None:
+            profiler.stop()
         return (tld_targets.tld, lifecycle_rows(registry),
                 tuple(registry.dirty_tick_indices()), dzdb.export_rows(),
-                tokens, cert_events, stats)
+                tokens, cert_events, stats, os.getpid(),
+                trace.export_records(),
+                profiler.export_counts() if profiler is not None else [])
     finally:
+        if profiler is not None:
+            profiler.stop()
         if was_enabled:
             gc.enable()
 
@@ -550,7 +575,9 @@ def _merge_shards(config: ScenarioConfig, targets: Dict[str, TLDTargets],
                   jobs: int, registries: RegistryGroup, dzdb: DZDB,
                   seed_token: Callable[[int, str, int], None],
                   cert_events: List[CertEvent],
-                  stats: Dict[str, int]) -> None:
+                  stats: Dict[str, int],
+                  merge_span: Optional[Span] = None,
+                  on_rows: Optional[Callable[[int], None]] = None) -> None:
     """Build every gTLD in a process pool and merge the shards.
 
     Shard granularity is one TLD (streams like the per-TLD name
@@ -569,15 +596,33 @@ def _merge_shards(config: ScenarioConfig, targets: Dict[str, TLDTargets],
     serial build, byte for byte.  (Certificate events need no buffering:
     the builder sorts them on the unique ``(ts, domain)`` key before
     executing.)
+
+    Telemetry stitching: each arriving shard carries the worker's
+    finished span records and (when profiling) its collapsed-stack
+    counts.  Spans are adopted into the parent tracer re-rooted under
+    ``merge_span`` with a stable ``worker=N`` label (N = arrival order
+    of the worker pid, labels only — never fingerprinted); profile
+    counts fold into the parent's active profiler.  ``on_rows`` is the
+    live-progress hook, called with each shard's row count as it lands.
     """
     import multiprocessing
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
+    profiler = profiler_active()
+    profile_interval = None
+    if profiler is not None:
+        # Workers sample wall time but only get cpu/jobs of a core when
+        # the pool oversubscribes the machine — scale their interval by
+        # the oversubscription factor so sample density (and sampling
+        # overhead) per CPU-second stays what the configured interval
+        # asks for.  A no-op (factor 1) when cores >= jobs.
+        oversub = max(1.0, jobs / (os.cpu_count() or jobs))
+        profile_interval = profiler.interval * oversub
     counts = capick_draw_counts(config, targets)
     payloads = {}
     offset = 0
     for tld, tld_targets in sorted(targets.items()):
-        payloads[tld] = (config, tld_targets, offset)
+        payloads[tld] = (config, tld_targets, offset, profile_interval)
         offset += counts[tld]
     # Largest shards first: the biggest TLD bounds the worker phase, so
     # it must start immediately (LPT scheduling); fork keeps worker
@@ -589,6 +634,8 @@ def _merge_shards(config: ScenarioConfig, targets: Dict[str, TLDTargets],
     context = multiprocessing.get_context(
         "fork" if "fork" in methods else None)
     deferred = {}
+    trace = tracer()
+    worker_ids: Dict[int, int] = {}
     with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         pending = {pool.submit(_build_tld_shard, payloads[tld])
                    for tld in submission}
@@ -596,8 +643,16 @@ def _merge_shards(config: ScenarioConfig, targets: Dict[str, TLDTargets],
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 (tld, rows, dirty_ticks, dzdb_rows, tokens, shard_events,
-                 shard_stats) = future.result()
+                 shard_stats, worker_pid, span_records,
+                 profile_counts) = future.result()
+                worker = worker_ids.setdefault(worker_pid, len(worker_ids))
+                trace.adopt_spans(span_records, parent=merge_span,
+                                  worker=worker)
+                if profiler is not None and profile_counts:
+                    profiler.merge_counts(profile_counts)
                 registries.get(tld).register_many(rows, dirty_ticks)
+                if on_rows is not None:
+                    on_rows(len(rows))
                 cert_events.extend(shard_events)
                 deferred[tld] = (dzdb_rows, tokens, shard_stats)
     for tld in sorted(deferred):
@@ -685,7 +740,11 @@ def build_world(config: Optional[ScenarioConfig] = None) -> World:
     """
     with _gc_paused():
         with span("build.world") as sp:
-            world = _build_world(config)
+            try:
+                world = _build_world(config)
+            finally:
+                # The progress gauge's source dies with the build.
+                build_progress().clear()
             sp.annotate(sim_sec=world.window.end - world.window.start,
                         registrations=world.stats.get("registrations", 0))
             return world
@@ -749,13 +808,29 @@ def _build_world(config: Optional[ScenarioConfig]) -> World:
     # arrays are merged here in canonical TLD order.  Either way the
     # resulting world is bit-identical (docs/determinism.md).
     jobs = _resolve_jobs(config.parallel, len(targets))
+    progress = build_progress()
     if jobs > 1:
-        # Workers run uninstrumented (their tracers die with them); the
-        # parent's merge span covers the whole fan-out + fold.
-        with span("build.merge_shards", jobs=jobs):
+        # Workers instrument themselves (span + profiler); the parent
+        # stitches their records in under this merge span as shards
+        # arrive, and the merged-row count feeds the progress gauge.
+        merged_rows = {"n": 0}
+
+        def _count_rows(n: int) -> None:
+            merged_rows["n"] += n
+
+        progress.set_registrations_source(lambda: merged_rows["n"])
+        with span("build.merge_shards", jobs=jobs) as merge_span:
             _merge_shards(config, targets, jobs, registries, dzdb,
-                          seed_token, cert_events, stats)
+                          seed_token, cert_events, stats,
+                          merge_span=merge_span
+                          if isinstance(merge_span, Span) else None,
+                          on_rows=_count_rows)
     else:
+        # The serial build's stats dict is live (bumped per
+        # registration), so it is the progress source directly.
+        progress.set_registrations_source(
+            lambda: stats["registrations"] + stats["baseline"]
+            + stats["held_domains"])
         for tld, tld_targets in sorted(targets.items()):
             with span("build.populate_tld", tld=tld) as sp:
                 _populate_tld(config, tld_targets, bank, registries.get(tld),

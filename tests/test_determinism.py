@@ -143,3 +143,61 @@ class TestDeterminism:
         text_b = "\n".join(r.render() for r in full_report(
             world, second, include_nod=False))
         assert text_a == text_b
+
+
+class TestInstrumentedBuildMatchesGolden:
+    """The observability acceptance gate: a multi-core build with the
+    tracer *and* the sampling profiler running must reproduce the
+    committed golden fingerprint bit-identically — telemetry draws no
+    RNG and never perturbs a sampled value — and the parent tracer must
+    hold the stitched per-worker ``build.populate_tld`` spans.
+    """
+
+    @staticmethod
+    def _pinned():
+        import json
+        from pathlib import Path
+        path = (Path(__file__).resolve().parent.parent
+                / "benchmarks" / "BENCH_worldgen.json")
+        return json.loads(path.read_text())
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_profiled_parallel_build_hits_golden(self, jobs):
+        from repro.obs.profiler import SamplingProfiler
+        from repro.obs.spans import tracer
+
+        pinned = self._pinned()
+        config = ScenarioConfig(
+            seed=pinned["seed"], scale=1.0 / pinned["inv_scale"],
+            include_cctld=pinned["include_cctld"], parallel=jobs)
+        trace = tracer()
+        trace.reset()
+        profiler = SamplingProfiler(interval=0.002).start()
+        try:
+            world = build_world(config)
+        finally:
+            profiler.stop()
+
+        # Bit-identical to the committed serial golden, telemetry on.
+        assert world_fingerprint(world) == pinned["fingerprint"]
+
+        # Every worker's populate spans were stitched into the parent.
+        totals = trace.phase_totals()
+        assert "build.populate_tld" in totals
+        populate = [s for s in trace.spans
+                    if s.name == "build.populate_tld"]
+        assert len(populate) == len(world.registries)
+        assert totals["build.populate_tld"]["count"] == len(populate)
+        assert ({s.labels["tld"] for s in populate}
+                == {r.tld for r in world.registries})
+        assert all("worker" in s.labels for s in populate)
+        # Re-rooted under the one merge span, one level down.
+        (merge,) = [s for s in trace.spans
+                    if s.name == "build.merge_shards"]
+        assert all(s.parent_id == merge.span_id for s in populate)
+        assert all(s.depth == merge.depth + 1 for s in populate)
+        # Per-shard wall time survived the stitch (straggler evidence).
+        assert all(s.wall_sec > 0 for s in populate)
+        # Every worker process contributed spans.
+        workers = {s.labels["worker"] for s in populate}
+        assert len(workers) == min(jobs, len(populate))

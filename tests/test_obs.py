@@ -378,7 +378,7 @@ class TestSpans:
         assert t.snapshot() == t.phase_totals()
         assert {m.name for m in t.metrics()} == {
             "span_calls", "span_wall_seconds", "span_errors",
-            "span_peak_rss_kb"}
+            "span_peak_rss_kb", "span_rss_growth_kb"}
         assert t.spans[0].peak_rss_kb > 0
         assert t.spans[0].wall_sec >= 0.0
 
@@ -766,3 +766,442 @@ class TestAdaptersAndDeterminism:
         finally:
             set_enabled(True)
         assert world_fingerprint(dark_build) == world_fingerprint(tiny_world)
+
+
+# --------------------------------------------------------------------------
+# Cross-process span stitching (adopt_spans / from_dict / rss growth)
+# --------------------------------------------------------------------------
+
+class TestSpanStitching:
+
+    @staticmethod
+    def _worker_records():
+        """Records the way a worker produces them: reset tracer, one
+        populate span with a nested child."""
+        w = Tracer()
+        with w.span("build.populate_tld", tld="com") as sp:
+            with w.span("inner"):
+                pass
+            sp.annotate(nrd=120)
+        return w.export_records()
+
+    def test_from_dict_round_trips_as_dict(self):
+        t = Tracer()
+        with t.span("build.populate_tld", tld="com") as sp:
+            sp.annotate(sim_sec=_DAY, nrd=9)
+        record = t.spans[0].as_dict()
+        from repro.obs.spans import Span
+        assert Span.from_dict(record).as_dict() == record
+
+    def test_adopt_remaps_ids_and_reroots_under_parent(self):
+        records = self._worker_records()
+        t = Tracer()
+        with t.span("build.merge_shards", jobs=2) as merge:
+            assert t.adopt_spans(records, parent=merge, worker=1) == 2
+        # Finish order: inner, populate, merge.
+        inner, populate, merge_done = t.spans
+        assert inner.name == "inner" and populate.name == "build.populate_tld"
+        # Foreign ids were remapped onto the local sequence (the merge
+        # span took local id 0; adopted spans follow).
+        assert {inner.span_id, populate.span_id} == {1, 2}
+        assert inner.parent_id == populate.span_id   # intra-batch link kept
+        assert populate.parent_id == merge_done.span_id  # root re-rooted
+        assert populate.depth == 1 and inner.depth == 2  # shifted under it
+        assert populate.labels == {"tld": "com", "worker": "1"}
+        assert populate.annotations == {"nrd": 120}
+
+    def test_adopted_spans_feed_aggregates_and_sink(self):
+        records = self._worker_records()
+        events = []
+        t = Tracer(sink=events.append)
+        t.adopt_spans(records, worker=0)
+        totals = t.phase_totals()
+        assert totals["build.populate_tld"]["count"] == 1
+        assert totals["inner"]["count"] == 1
+        assert [e["span"] for e in events] == ["inner", "build.populate_tld"]
+
+    def test_adopt_without_parent_keeps_roots(self):
+        records = self._worker_records()
+        t = Tracer()
+        t.adopt_spans(records)
+        populate = next(s for s in t.spans
+                        if s.name == "build.populate_tld")
+        assert populate.parent_id is None and populate.depth == 0
+
+    def test_adopt_is_noop_when_disabled(self):
+        records = self._worker_records()
+        t = Tracer(enabled=False)
+        assert t.adopt_spans(records, worker=3) == 0
+        assert t.spans == [] and t.phase_totals() == {}
+
+    def test_current_and_root_span(self):
+        t = Tracer()
+        assert t.current_span() is None and t.root_span() is None
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                assert t.current_span() is inner
+                assert t.root_span() is outer
+        assert t.current_span() is None
+
+    def test_rss_growth_zero_when_under_earlier_peak(self, monkeypatch):
+        from repro.obs import spans as spans_mod
+        rss = iter([1000, 1500, 1500, 1500])  # enter/exit, enter/exit
+        monkeypatch.setattr(spans_mod, "_peak_rss_kb", lambda: next(rss))
+        t = Tracer()
+        with t.span("grew"):
+            pass
+        with t.span("flat"):
+            pass
+        grew, flat = t.spans
+        assert grew.rss_growth_kb == 500 and grew.peak_rss_kb == 1500
+        assert flat.rss_growth_kb == 0 and flat.peak_rss_kb == 1500
+        totals = t.phase_totals()
+        assert totals["grew"]["rss_growth_kb"] == 500
+        assert totals["flat"]["rss_growth_kb"] == 0
+
+    def test_detach_sink_drops_without_closing(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        t = Tracer(sink=str(path))
+        handle = t._sink_file
+        t.detach_sink()
+        assert t._sink is None and t._sink_file is None
+        assert not handle.closed   # the parent still owns the handle
+        handle.close()
+
+
+# --------------------------------------------------------------------------
+# Sampling profiler
+# --------------------------------------------------------------------------
+
+class TestSamplingProfiler:
+
+    def _spin(self, trace, seconds=0.05):
+        import time as _time
+        with trace.span("hot.phase"):
+            deadline = _time.perf_counter() + seconds
+            while _time.perf_counter() < deadline:
+                sum(range(200))
+
+    def test_samples_attribute_to_active_phase(self):
+        from repro.obs.profiler import SamplingProfiler
+        t = Tracer()
+        prof = SamplingProfiler(interval=0.001, trace=t).start()
+        try:
+            self._spin(t)
+        finally:
+            prof.stop()
+        assert prof.samples > 0
+        assert prof.phase_samples().get("hot.phase", 0) > 0
+        assert any(line.startswith("hot.phase;") for line in prof.collapsed())
+
+    def test_zero_samples_is_clean(self):
+        from repro.obs.profiler import SamplingProfiler
+        prof = SamplingProfiler(interval=60.0).start()
+        prof.stop()
+        assert prof.samples == 0
+        assert prof.collapsed() == []
+        assert prof.top_frames() == {}
+        assert prof.phase_samples() == {}
+
+    def test_double_start_and_double_stop_are_noops(self):
+        from repro.obs.profiler import SamplingProfiler, active
+        prof = SamplingProfiler(interval=0.01)
+        assert prof.start() is prof
+        thread = prof._thread
+        assert prof.start() is prof and prof._thread is thread
+        assert active() is prof
+        prof.stop()
+        assert active() is None
+        prof.stop()                      # second stop: no-op, no raise
+        assert not prof.running
+
+    def test_exception_during_profiled_phase(self, tmp_path):
+        from repro.obs.profiler import profiling
+        t = tracer()
+        out = tmp_path / "prof.txt"
+        with pytest.raises(ValueError):
+            with profiling(path=str(out), interval=0.001) as prof:
+                self._spin(t, seconds=0.03)
+                raise ValueError("boom")
+        assert not prof.running          # stopped despite the raise
+        assert out.exists()              # collapsed stacks still written
+        if prof.samples:
+            assert out.read_text().strip()
+
+    def test_invalid_interval_rejected(self):
+        from repro.obs.profiler import SamplingProfiler
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+
+    def test_merge_counts_and_collapsed_format(self):
+        from repro.obs.profiler import SamplingProfiler
+        prof = SamplingProfiler(interval=60.0)
+        prof.merge_counts([("phase;mod.f;mod.g", 3), ("phase;mod.f", 2)])
+        prof.merge_counts([("phase;mod.f;mod.g", 1)])
+        assert prof.samples == 6
+        assert prof.collapsed() == ["phase;mod.f;mod.g 4", "phase;mod.f 2"]
+        assert prof.export_counts() == [("phase;mod.f", 2),
+                                        ("phase;mod.f;mod.g", 4)]
+        assert prof.top_frames() == {
+            "phase": [("mod.g", 4), ("mod.f", 2)]}
+        assert prof.phase_samples() == {"phase": 6}
+
+    def test_write_collapsed(self, tmp_path):
+        from repro.obs.profiler import SamplingProfiler
+        prof = SamplingProfiler(interval=60.0)
+        prof.merge_counts([("p;a.b", 5)])
+        path = tmp_path / "collapsed.txt"
+        assert prof.write_collapsed(path) == 1
+        assert path.read_text() == "p;a.b 5\n"
+
+    def test_unattributed_outside_spans(self):
+        from repro.obs.profiler import SamplingProfiler, UNATTRIBUTED
+        import time as _time
+        t = Tracer()
+        prof = SamplingProfiler(interval=0.001, trace=t).start()
+        try:
+            deadline = _time.perf_counter() + 0.03
+            while _time.perf_counter() < deadline:
+                sum(range(200))
+        finally:
+            prof.stop()
+        if prof.samples:
+            assert set(prof.phase_samples()) == {UNATTRIBUTED}
+
+
+# --------------------------------------------------------------------------
+# Structured logging
+# --------------------------------------------------------------------------
+
+class TestLogRouter:
+
+    @staticmethod
+    def _router(**kw):
+        import io
+        from repro.obs.log import LogRouter
+        stream = io.StringIO()
+        clock = {"now": 1000.0}
+        router = LogRouter(stream=stream,
+                           clock=lambda: clock["now"], **kw)
+        return router, stream, clock
+
+    def test_levels_filter(self):
+        router, stream, _ = self._router(level="warning")
+        assert not router.emit("x", "info", "hidden")
+        assert router.emit("x", "warning", "shown")
+        assert stream.getvalue() == "warning: shown\n"
+
+    def test_unknown_level_rejected(self):
+        from repro.obs.log import LogRouter
+        with pytest.raises(ValueError):
+            LogRouter(level="loud")
+        router, _, _ = self._router()
+        with pytest.raises(ValueError):
+            router.set_level("nope")
+
+    def test_duplicate_suppression_and_repeats(self):
+        router, stream, clock = self._router()
+        assert router.emit("feed", "warning", "bad line")
+        for _ in range(4):                      # inside the window
+            clock["now"] += 1.0
+            assert not router.emit("feed", "warning", "bad line")
+        clock["now"] += 10.0                    # past the window
+        assert router.emit("feed", "warning", "bad line")
+        lines = stream.getvalue().splitlines()
+        assert lines == ["warning: bad line",
+                         "warning: bad line [x4 suppressed]"]
+        assert router.suppressed == 4 and router.emitted == 2
+
+    def test_distinct_messages_not_suppressed(self):
+        router, stream, _ = self._router()
+        assert router.emit("x", "info", "one")
+        assert router.emit("x", "info", "two")
+        assert stream.getvalue() == "one\ntwo\n"
+
+    def test_error_level_bypasses_suppression(self):
+        router, stream, _ = self._router()
+        assert router.emit("cli", "error", "boom")
+        assert router.emit("cli", "error", "boom")  # same instant
+        assert stream.getvalue() == "error: boom\nerror: boom\n"
+
+    def test_json_sink_schema(self, tmp_path):
+        router, _, _ = self._router()
+        path = tmp_path / "log.jsonl"
+        router.open_json(path)
+        router.emit("cli", "info", "hello", extra=7)
+        router.close_json()
+        (record,) = [json.loads(line)
+                     for line in path.read_text().splitlines()]
+        assert record["msg"] == "hello" and record["logger"] == "cli"
+        assert record["level"] == "info" and record["extra"] == 7
+        assert record["ts"] == 1000.0
+        # Correlation keys are always present (null outside spans).
+        assert record["span"] is None and record["trace"] is None
+
+    def test_span_and_trace_correlation_ids(self, tmp_path):
+        router, _, _ = self._router()
+        path = tmp_path / "log.jsonl"
+        router.open_json(path)
+        t = tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                router.emit("core", "info", "within")
+        router.close_json()
+        (record,) = [json.loads(line)
+                     for line in path.read_text().splitlines()]
+        assert record["span"] == inner.span_id
+        assert record["trace"] == outer.span_id
+
+    def test_repeats_recorded_in_json(self, tmp_path):
+        router, _, clock = self._router()
+        path = tmp_path / "log.jsonl"
+        router.open_json(path)
+        router.emit("x", "warning", "dup")
+        router.emit("x", "warning", "dup")
+        clock["now"] += 99.0
+        router.emit("x", "warning", "dup")
+        router.close_json()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert "repeats" not in records[0]
+        assert records[1]["repeats"] == 1
+
+    def test_logger_facade_and_configure(self, tmp_path, capsys):
+        from repro.obs.log import configure, get_logger, router as router_fn
+        path = tmp_path / "log.jsonl"
+        shared = router_fn()
+        prev_level = shared.level
+        try:
+            configure(json_path=path, level="debug")
+            log = get_logger("t.facade")
+            assert log.debug("dbg", k=1)
+            assert log.info("inf")
+        finally:
+            configure(level=prev_level)
+            shared.close_json()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["level"] for r in records] == ["debug", "info"]
+        assert all(r["logger"] == "t.facade" for r in records)
+        err = capsys.readouterr().err
+        assert "debug: dbg" in err and "inf" in err
+
+    def test_feed_loader_routes_through_log(self, tmp_path, capsys):
+        from repro.core.feed import PublicFeed
+        path = tmp_path / "feed.jsonl"
+        path.write_text('not json\n{"domain": "a.com", "tld": "com", '
+                        '"seen_at": 5}\n', encoding="utf-8")
+        feed = PublicFeed.from_jsonl(path)
+        assert feed.load_errors == 1
+        err = capsys.readouterr().err
+        assert "warning" in err and "1 malformed" in err
+
+
+# --------------------------------------------------------------------------
+# Live progress: pull gauges + heartbeat
+# --------------------------------------------------------------------------
+
+class TestBuildProgress:
+
+    def test_current_rss_is_positive(self):
+        from repro.obs.progress import current_rss_kb
+        assert current_rss_kb() > 0
+
+    def test_source_set_read_clear(self):
+        from repro.obs.progress import BuildProgress
+        progress = BuildProgress()
+        assert progress.snapshot()["registrations"] == 0
+        live = {"n": 0}
+        progress.set_registrations_source(lambda: live["n"])
+        live["n"] = 42
+        assert progress.snapshot()["registrations"] == 42
+        progress.clear()
+        assert progress.snapshot()["registrations"] == 0
+
+    def test_dying_source_reads_zero(self):
+        from repro.obs.progress import BuildProgress
+        progress = BuildProgress()
+        progress.set_registrations_source(
+            lambda: (_ for _ in ()).throw(RuntimeError("gone")))
+        assert progress.snapshot()["registrations"] == 0
+
+    def test_registered_as_progress_group(self):
+        from repro.obs.progress import build_progress
+        assert get_registry().group("progress") is build_progress()
+        snap = build_progress().snapshot()
+        assert snap["rss_kb"] > 0
+
+    def test_gauge_cleared_after_build(self, tiny_world):
+        # Any built world must leave the gauge unsourced.
+        from repro.obs.progress import build_progress
+        assert build_progress()._source is None
+
+
+class TestHeartbeat:
+
+    @staticmethod
+    def _beat(**kw):
+        import io
+        from repro.obs.progress import Heartbeat
+        stream = io.StringIO()
+        clock = {"now": 0.0}
+        beat = Heartbeat(stream=stream, clock=lambda: clock["now"], **kw)
+        return beat, stream, clock
+
+    def test_wanted_requires_tty_and_not_quiet(self):
+        import io
+        from repro.obs.progress import Heartbeat
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        assert Heartbeat.wanted(stream=Tty())
+        assert not Heartbeat.wanted(stream=Tty(), quiet=True)
+        assert not Heartbeat.wanted(stream=io.StringIO())
+
+    def test_render_line_idle(self):
+        beat, _, clock = self._beat()
+        clock["now"] = 65.0
+        line = beat.render_line()
+        assert line.startswith("[1:05] idle")
+        assert "rss=" in line
+
+    def test_render_line_active_phase_and_registrations(self):
+        from repro.obs.progress import build_progress
+        beat, _, _ = self._beat()
+        progress = build_progress()
+        progress.set_registrations_source(lambda: 34_016)
+        try:
+            with tracer().span("build.populate_tld", tld="com"):
+                line = beat.render_line()
+        finally:
+            progress.clear()
+        assert "build.populate_tld{tld=com}" in line
+        assert "regs=34,016" in line
+
+    def test_thread_writes_lines(self):
+        beat, stream, _ = self._beat(interval=0.01)
+        import time as _time
+        beat.start()
+        try:
+            deadline = _time.monotonic() + 2.0
+            while beat.lines == 0 and _time.monotonic() < deadline:
+                _time.sleep(0.01)
+        finally:
+            beat.stop()
+        assert beat.lines > 0
+        assert stream.getvalue().count("\n") == beat.lines
+
+    def test_start_stop_idempotent(self):
+        beat, _, _ = self._beat(interval=60.0)
+        beat.start()
+        thread = beat._thread
+        assert beat.start() is beat and beat._thread is thread
+        beat.stop()
+        assert beat.stop() is beat and not beat.running
+
+    def test_invalid_interval_rejected(self):
+        from repro.obs.progress import Heartbeat
+        with pytest.raises(ValueError):
+            Heartbeat(interval=0)

@@ -490,15 +490,19 @@ class TestFeedRoundTrip:
         loaded = PublicFeed.from_jsonl(path)
         assert next(iter(loaded)).source == "ct"
 
-    def test_blank_and_corrupt_lines_skipped_with_warning(self, tmp_path):
+    def test_blank_and_corrupt_lines_skipped_with_warning(self, tmp_path,
+                                                          capsys):
         path = tmp_path / "feed.jsonl"
         good = FeedRecord(domain="ok.com", tld="com", seen_at=9).to_json()
         path.write_text(
             "\n".join(["", good, "garbage", "",
                        json.dumps({"domain": "x.com"}), good]) + "\n",
             encoding="utf-8")
-        with pytest.warns(UserWarning, match="2 malformed"):
-            loaded = PublicFeed.from_jsonl(path)
+        loaded = PublicFeed.from_jsonl(path)
+        # The corruption report flows through the structured log now
+        # (logger core.feed, level warning), rendered on stderr.
+        err = capsys.readouterr().err
+        assert "2 malformed" in err and "warning" in err
         assert len(loaded) == 2
         assert loaded.load_errors == 2
 
