@@ -62,9 +62,12 @@ SEED_BASELINE = {"inv_scale": 500, "seed": 7, "build_sec": 2.317,
 def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
               include_cctld: bool = False, pipeline: bool = False,
               fingerprint: bool = True, rounds: int = 1,
-              jobs: int = 1) -> dict:
+              jobs: int = 1, fault_plan: Optional[str] = None,
+              max_shard_retries: int = 2) -> dict:
     config = ScenarioConfig(seed=seed, scale=1.0 / inv_scale,
-                            include_cctld=include_cctld, parallel=jobs)
+                            include_cctld=include_cctld, parallel=jobs,
+                            fault_plan=fault_plan,
+                            max_shard_retries=max_shard_retries)
     build_sec = None
     for _ in range(max(1, rounds)):
         # Reset per round so the reported phase table covers exactly
@@ -80,6 +83,7 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
         "seed": seed,
         "include_cctld": include_cctld,
         "jobs": jobs,
+        "fault_plan": fault_plan,
         "registrations": regs,
         "certstream_events": world.certstream.event_count(),
         "build_sec": round(build_sec, 4),
@@ -252,6 +256,14 @@ def main() -> None:
                         help="worker processes for world generation "
                              "(default 1 = serial, 0 = one per core; the "
                              "fingerprint is identical for any value)")
+    parser.add_argument("--fault-plan", metavar="SPEC", default=None,
+                        help="deterministic fault-injection plan for the "
+                             "measured build (CI chaos smoke: the "
+                             "fingerprint must survive injected worker "
+                             "crashes; see docs/resilience.md)")
+    parser.add_argument("--max-shard-retries", type=int, default=2,
+                        help="per-shard retry budget under --fault-plan "
+                             "(default 2)")
     parser.add_argument("--span-overhead", action="store_true",
                         help="also time the build with the span tracer "
                              "disabled and with the profiler sampling, "
@@ -271,7 +283,8 @@ def main() -> None:
     report = run_build(inv_scale=args.inv_scale, seed=args.seed,
                        include_cctld=args.cctld, pipeline=args.pipeline,
                        fingerprint=not args.no_fingerprint, rounds=rounds,
-                       jobs=args.jobs)
+                       jobs=args.jobs, fault_plan=args.fault_plan,
+                       max_shard_retries=args.max_shard_retries)
     if profiler is not None:
         profiler.stop()
         report["profile"] = {

@@ -26,6 +26,7 @@ jitter.  Comparisons are skipped entirely when the measurement point
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterable, List
 
@@ -49,14 +50,33 @@ BENCH_SCALE = 1 / 200
 BENCH_SEED = 7
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Durably replace ``path``: write sidecar tmp, fsync, rename.
+
+    Bench artifacts are the repo's perf ledger; a run killed mid-write
+    (CI timeout, ^C) must never leave a half-written baseline or a
+    truncated trend history behind.  ``os.replace`` makes the swap
+    atomic on POSIX; the fsync makes it durable before the rename.
+    """
+    tmp = path.parent / (path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
 def write_baseline(name: str, payload: dict) -> Path:
     """Persist a machine-readable ``BENCH_<name>.json`` perf baseline.
 
     One file per harness (probes/sec, p99 lag, ...) so the perf
     trajectory across PRs is a series of comparable data points.
+    Written atomically (tmp + rename) so an interrupted run cannot
+    corrupt a committed baseline.
     """
     path = BASELINE_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True)
+                       + "\n")
     return path
 
 
@@ -69,9 +89,19 @@ def append_trend(record: dict) -> Path:
     measurement point, key metrics, fingerprint, pass/fail), so the
     perf trajectory across PRs and CI runs can be plotted from one
     file.  Records are single-line JSON, oldest first.
+
+    The append goes through a full atomic rewrite (existing lines +
+    the new one → tmp + rename): the history is small, and a crash
+    mid-append must not leave a torn last line that poisons every
+    later plot of the file.
     """
-    with TREND_PATH.open("a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    existing = ""
+    if TREND_PATH.exists():
+        existing = TREND_PATH.read_text(encoding="utf-8")
+        if existing and not existing.endswith("\n"):
+            existing += "\n"
+    _atomic_write_text(TREND_PATH,
+                       existing + json.dumps(record, sort_keys=True) + "\n")
     return TREND_PATH
 
 

@@ -119,6 +119,16 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for world generation "
                              "(default 1 = serial, 0 = one per core; the "
                              "built world is bit-identical for any value)")
+    parser.add_argument("--fault-plan", metavar="SPEC", default=None,
+                        help="deterministic fault-injection plan: a JSON "
+                             "object/file path or a CLI spec like "
+                             "'seed=7;worker.crash:rate=0.5,fires=1' "
+                             "(see docs/resilience.md; default: no faults)")
+    parser.add_argument("--max-shard-retries", type=_nonnegative_int,
+                        default=2, metavar="N",
+                        help="per-shard retry budget for crashed/overdue "
+                             "build workers before serial fallback "
+                             "(default 2)")
 
 
 def _world_from(args: argparse.Namespace, cctld_scale: Optional[float] = None):
@@ -126,7 +136,9 @@ def _world_from(args: argparse.Namespace, cctld_scale: Optional[float] = None):
         seed=args.seed, scale=1 / args.scale,
         include_cctld=not args.no_cctld,
         cctld_scale=cctld_scale,
-        parallel=args.jobs))
+        parallel=args.jobs,
+        fault_plan=args.fault_plan,
+        max_shard_retries=args.max_shard_retries))
 
 
 def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
@@ -268,7 +280,8 @@ def _register_serve_clients(server: FeedServer, args: argparse.Namespace,
 def cmd_serve(args: argparse.Namespace) -> int:
     config = FeedServerConfig(shards=args.shards,
                               max_queue_depth=args.queue_depth,
-                              max_segment_records=args.segment_records)
+                              max_segment_records=args.segment_records,
+                              fault_plan=args.fault_plan)
 
     if args.replay:
         server = FeedServer(config=config)
@@ -316,7 +329,8 @@ def cmd_scan(args: argparse.Namespace) -> int:
         qps_per_authority=args.qps,
         probe_budget=args.budget,
         jitter=args.jitter,
-        terminate_nxdomain_streak=args.nxdomain_streak)
+        terminate_nxdomain_streak=args.nxdomain_streak,
+        fault_plan=args.fault_plan)
     world = _world_from(args)
     detector = CTDetector(archive=world.archive,
                           known_tlds=world.registries.tlds(),

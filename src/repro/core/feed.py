@@ -47,17 +47,23 @@ class FeedRecord:
                    source=payload.get("source", "ct"))
 
 
-def read_jsonl_records(path: Path) -> Tuple[List[FeedRecord], int]:
+def read_jsonl_records(path: Path,
+                       quarantine: bool = True) -> Tuple[List[FeedRecord], int]:
     """Read feed records from a JSONL file, tolerating corruption.
 
     Blank lines are ignored; malformed lines are skipped and counted.
-    Returns ``(records, skipped)`` — the shared loader behind
-    :meth:`PublicFeed.from_jsonl` and the feed server's archive
-    replay, so their tolerance semantics cannot drift apart.
+    With ``quarantine`` (the default) the rejected lines are also
+    preserved verbatim in a ``<name>.rejects`` sidecar next to the
+    archive, so a corrupted feed can be triaged (and re-ingested after
+    repair) instead of silently losing data.  Returns ``(records,
+    skipped)`` — the shared loader behind :meth:`PublicFeed.from_jsonl`
+    and the feed server's archive replay, so their tolerance semantics
+    cannot drift apart.
     """
+    path = Path(path)
     records: List[FeedRecord] = []
-    skipped = 0
-    with Path(path).open("r", encoding="utf-8") as fh:
+    rejects: List[str] = []
+    with path.open("r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
@@ -65,8 +71,21 @@ def read_jsonl_records(path: Path) -> Tuple[List[FeedRecord], int]:
             try:
                 records.append(FeedRecord.from_json(line))
             except (ValueError, KeyError, TypeError):
-                skipped += 1
-    return records, skipped
+                rejects.append(line)
+    if rejects:
+        from repro.resilience.metrics import get_resilience_metrics
+        get_resilience_metrics().rejected_lines.inc(len(rejects))
+        if quarantine:
+            sidecar = path.parent / (path.name + ".rejects")
+            with sidecar.open("a", encoding="utf-8") as fh:
+                for line in rejects:
+                    fh.write(line)
+                    fh.write("\n")
+            log.warning(
+                f"{path}: quarantined {len(rejects)} malformed feed "
+                f"line(s) to {sidecar.name}",
+                skipped=len(rejects), sidecar=str(sidecar))
+    return records, len(rejects)
 
 
 class PublicFeed:
@@ -121,14 +140,15 @@ class PublicFeed:
 
     @classmethod
     def from_jsonl(cls, path: Path) -> "PublicFeed":
-        """Load a feed archive, skipping (and counting) malformed lines.
+        """Load a feed archive, quarantining malformed lines.
 
         Real archive files get truncated and corrupted; one bad line
-        must not lose the rest of the feed.  Skipped lines are counted
-        in :attr:`load_errors` and reported once through the
-        structured log (level ``warning``, logger ``core.feed``).
-        The loaded feed is re-finalized so ordering invariants hold
-        even for archives written out of order.
+        must not lose the rest of the feed.  Rejected lines are counted
+        in :attr:`load_errors`, preserved in the ``.rejects`` sidecar,
+        and reported once through the structured log (level
+        ``warning``, logger ``core.feed``) by the shared loader.  The
+        loaded feed is re-finalized so ordering invariants hold even
+        for archives written out of order.
         """
         feed = cls()
         records, skipped = read_jsonl_records(path)
@@ -136,8 +156,5 @@ class PublicFeed:
             feed._records.append(record)
             feed._domains.add(record.domain)
         feed.load_errors = skipped
-        if skipped:
-            log.warning(f"{path}: skipped {skipped} malformed feed line(s)",
-                        skipped=skipped)
         feed.finalize()
         return feed

@@ -143,3 +143,37 @@ class EvictedClientError(ServeError):
 
 class ScanError(ReproError):
     """Base class for bulk-measurement (``repro.scan``) errors."""
+
+
+# --------------------------------------------------------------------------
+# Resilience (fault injection, supervision, breakers, crash safety)
+# --------------------------------------------------------------------------
+
+class ResilienceError(ReproError):
+    """Base class for failure-handling (``repro.resilience``) errors.
+
+    Every subclass rides the uniform CLI error contract: one clean
+    line on stderr and exit code 2 (``repro.cli.main`` catches
+    :class:`ReproError`), never a traceback.
+    """
+
+
+class WorkerCrashError(ResilienceError):
+    """A build worker process died (or an injected fault killed it)."""
+
+
+class ShardRetryExhausted(ResilienceError):
+    """A build shard failed every supervised retry and the in-process
+    serial fallback was disabled (or failed too)."""
+
+
+class CircuitOpenError(ResilienceError):
+    """An operation was refused because its circuit breaker is open."""
+
+
+class SegmentCorruptionError(ResilienceError):
+    """A persisted log segment failed its CRC or JSON parse.
+
+    :meth:`~repro.serve.segments.SegmentedLog.load` handles this
+    internally (salvage + quarantine); it only escapes through the
+    strict single-line parser used by tests and tooling."""

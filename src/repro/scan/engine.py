@@ -49,13 +49,23 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.bus.broker import Broker, TOPIC_OBSERVATIONS
 from repro.core.records import MonitorReport
 from repro.dnscore import name as dnsname
-from repro.dnscore.message import RCode, Response, nxdomain
+from repro.dnscore.message import RCode, Response, nxdomain, servfail, timeout
 from repro.dnscore.records import RRType
 from repro.dnscore.resolver import ResolverPoolMetrics
 from repro.errors import ScanError
+from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
 from repro.registry.registry import RegistryGroup
+from repro.resilience.breaker import (
+    BreakerConfig,
+    CircuitBreaker,
+    DecorrelatedJitterBackoff,
+    ExponentialBackoff,
+    make_backoff,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.metrics import get_resilience_metrics
 from repro.scan.metrics import ScanMetrics
 from repro.scan.ratelimit import AuthorityRateLimiter
 from repro.scan.scheduler import ProbeEntry, ProbeScheduler
@@ -100,8 +110,36 @@ class ScanConfig:
     dark_host_suppress_after: Optional[int] = 3
     #: Hard cap on probes sent across the whole run (None: unlimited).
     probe_budget: Optional[int] = None
+    #: Deterministic fault plan (``scan.servfail`` / ``scan.timeout``
+    #: storms, ``scan.latency`` spikes); a string parses via
+    #: :meth:`FaultPlan.parse`.
+    fault_plan: Optional[FaultPlan] = None
+    #: Per-TLD-authority circuit breaker (None: breakers off — the
+    #: loop-equivalent default).
+    breaker: Optional[BreakerConfig] = None
+    #: Simulated-seconds budget per probe instant: a retry whose due
+    #: time would land past ``nominal + probe_deadline`` is dropped
+    #: (None: retries bounded only by ``max_retries``).
+    probe_deadline: Optional[int] = None
+    #: Retry backoff policy: ``"exponential"`` (the historical
+    #: ``retry_backoff * 2**attempt``, bit-identical default) or
+    #: ``"decorrelated_jitter"`` (seeded AWS-style jitter).
+    backoff: str = ExponentialBackoff.name
+    #: Upper delay bound for the jitter policy (None: uncapped).
+    backoff_cap: Optional[float] = None
+    #: Seed for the jitter policy's per-chain draws.
+    backoff_seed: int = 0
 
     def __post_init__(self) -> None:
+        if isinstance(self.fault_plan, str):
+            object.__setattr__(self, "fault_plan",
+                               FaultPlan.parse(self.fault_plan))
+        if self.backoff not in (ExponentialBackoff.name,
+                                DecorrelatedJitterBackoff.name):
+            raise ScanError(f"unknown backoff policy: {self.backoff!r}")
+        if self.probe_deadline is not None and self.probe_deadline <= 0:
+            raise ScanError(
+                f"probe_deadline must be positive: {self.probe_deadline}")
         if self.probe_interval <= 0 or self.duration <= 0:
             raise ScanError("probe interval and duration must be positive")
         if self.workers <= 0:
@@ -227,6 +265,16 @@ class ScanEngine:
         self._builders: Dict[str, _ReportBuilder] = {}
         self._reports: Dict[str, MonitorReport] = {}
         self._pops = 0
+        # Resilience plumbing: the backoff policy replaces the old
+        # inline ``retry_backoff * 2**attempt`` (the exponential
+        # default is bit-identical to it); breakers are keyed per TLD
+        # authority and created lazily on first probe.
+        self._backoff = make_backoff(
+            self.config.backoff, self.config.retry_backoff,
+            cap=self.config.backoff_cap, seed=self.config.backoff_seed)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._resilience = get_resilience_metrics()
+        self._log = get_logger("resilience")
 
     # -- admission -------------------------------------------------------------
 
@@ -326,6 +374,8 @@ class ScanEngine:
         # bounds it from above for fractional rates.
         stall_delay = (1 if limiter.qps is None
                        else max(1, math.ceil(1.0 / limiter.qps)))
+        plan = self.config.fault_plan
+        wants_latency = plan is not None and plan.wants("scan.latency")
         while True:
             entry = pop()
             if entry is None:
@@ -334,6 +384,18 @@ class ScanEngine:
             if builder.finalized:
                 continue
             is_grid = entry.kind is None
+            if wants_latency and is_grid and entry.due == entry.nominal:
+                # Latency spike: defer the instant's first execution
+                # (``due == nominal`` gates re-pops, so a rate-1.0
+                # spike cannot livelock the queue).
+                spec = plan.fires("scan.latency", entry.domain,
+                                  str(entry.nominal), target=builder.tld,
+                                  at=entry.nominal)
+                if spec is not None and spec.delay > 0:
+                    self._resilience.faults_injected.labels(
+                        kind="scan.latency").inc()
+                    scheduler.defer(entry, entry.due + max(1, int(spec.delay)))
+                    continue
             if is_grid:
                 kinds = builder.kinds
             else:
@@ -408,7 +470,23 @@ class ScanEngine:
                                            served_at=now),
                                   worker.index, entry.attempt, negcache=True)
             return 0
-        response = worker.probe(domain, kind, now)
+        breaker = self._breaker_for(builder.tld)
+        if breaker is not None and not breaker.allow(now):
+            # Open circuit: refuse the probe outright and synthesize a
+            # timeout, so the ordinary retry path reprobes after
+            # backoff — by which time the breaker may be half-open.
+            self._resilience.breaker_skips.inc()
+            response = timeout(worker.query_for(domain, kind), served_at=now)
+            sent = 0
+        else:
+            response = self._inject_or_probe(builder, worker, kind, now,
+                                             entry)
+            if breaker is not None:
+                if response.rcode in (RCode.SERVFAIL, RCode.TIMEOUT):
+                    breaker.record_failure(now)
+                else:
+                    breaker.record_success(now)
+            sent = 1
         if self.store is not None:
             self.store.record(domain, builder.tld, now, entry.nominal,
                               response, worker.index, entry.attempt,
@@ -417,7 +495,43 @@ class ScanEngine:
             self._handle_ns(builder, response, now, entry)
         else:
             self._handle_addr(builder, kind, response, entry)
-        return 1
+        return sent
+
+    def _inject_or_probe(self, builder: _ReportBuilder, worker: ProbeWorker,
+                         kind: RRType, now: int,
+                         entry: ProbeEntry) -> Response:
+        """Run the probe — unless the fault plan says the authority is
+        melting, in which case synthesize the failure it would see."""
+        plan = self.config.fault_plan
+        if plan is not None:
+            key = (builder.domain, kind.name, str(entry.nominal))
+            for fault, synthesize in (("scan.servfail", servfail),
+                                      ("scan.timeout", timeout)):
+                if plan.wants(fault) and plan.fires(
+                        fault, *key, target=builder.tld,
+                        attempt=entry.attempt, at=now):
+                    self._resilience.faults_injected.labels(kind=fault).inc()
+                    return synthesize(worker.query_for(builder.domain, kind),
+                                      served_at=now)
+        return worker.probe(builder.domain, kind, now)
+
+    def _breaker_for(self, tld: str) -> Optional[CircuitBreaker]:
+        if self.config.breaker is None:
+            return None
+        breaker = self._breakers.get(tld)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config.breaker, name=tld)
+            transitions = self._resilience.breaker_transitions
+            log = self._log
+
+            def on_transition(old: str, new: str, tld: str = tld) -> None:
+                transitions.labels(transition=f"{old}->{new}").inc()
+                log.warning(f"scan breaker {tld}: {old} -> {new}",
+                            authority=tld, transition=f"{old}->{new}")
+
+            breaker.on_transition = on_transition
+            self._breakers[tld] = breaker
+        return breaker
 
     def _handle_ns(self, builder: _ReportBuilder, response: Response,
                    now: int, entry: ProbeEntry) -> None:
@@ -465,13 +579,22 @@ class ScanEngine:
     def _maybe_retry(self, builder: _ReportBuilder, kind: RRType,
                      entry: ProbeEntry) -> None:
         if entry.attempt < self.config.max_retries:
-            self.metrics.retries.inc()
-            delay = self.config.retry_backoff * (2 ** entry.attempt)
-            self.scheduler.schedule_retry(
-                builder.domain, kind, due=entry.due + delay,
-                nominal=entry.nominal, attempt=entry.attempt + 1,
-                grid_index=entry.grid_index)
-            return
+            delay = self._backoff.delay(entry.attempt, builder.domain,
+                                        kind.name)
+            if not isinstance(delay, int):
+                delay = max(1, int(round(delay)))
+            due = entry.due + delay
+            budget = self.config.probe_deadline
+            if budget is None or due - entry.nominal <= budget:
+                self.metrics.retries.inc()
+                self.scheduler.schedule_retry(
+                    builder.domain, kind, due=due,
+                    nominal=entry.nominal, attempt=entry.attempt + 1,
+                    grid_index=entry.grid_index)
+                return
+            # The instant's deadline budget cannot absorb another
+            # backoff; give up on it like an exhausted retry chain.
+            self._resilience.deadline_exhausted.inc()
         # Retry chain exhausted for this instant.
         if kind is RRType.NS or self.config.dark_host_suppress_after is None:
             return
@@ -520,6 +643,10 @@ class ScanEngine:
         snap["queue"] = {"pending": len(self.scheduler),
                          "domains": self.scheduler.domain_count}
         snap["budget_exhausted"] = self.budget_exhausted
+        if self._breakers:
+            snap["breakers"] = {tld: breaker.snapshot()
+                                for tld, breaker
+                                in sorted(self._breakers.items())}
         if self.store is not None:
             snap["store"] = self.store.summary()
         return snap

@@ -16,16 +16,63 @@ the producing pipeline.  A per-domain **compaction** pass rewrites
 sealed segments keeping only the newest record per domain — the
 "current state" view consumers ask for when they do not care about
 history (the same contract as a Kafka compacted topic).
+
+Persistence is crash-safe (PR 8): segment files are written to a tmp
+file, fsynced, and atomically renamed into place, and every line
+carries a CRC32 column (``<json>\\t<crc32 hex>``).  :meth:`SegmentedLog.load`
+therefore **never raises** on a damaged directory: the longest clean
+prefix of each file is salvaged, torn tails are quarantined to a
+``.torn`` sidecar, later segments are re-based over any lost records,
+and all of it is counted in :meth:`SegmentedLog.stats` and the
+process-wide ``resilience`` metric group.  A ``log.torn_write`` fault
+plan tears writes deterministically to exercise exactly this path.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.feed import FeedRecord
-from repro.errors import OffsetError, ServeError
+from repro.errors import OffsetError, SegmentCorruptionError, ServeError
+from repro.obs.log import get_logger
+from repro.resilience.faults import FaultPlan
+from repro.resilience.metrics import get_resilience_metrics
+
+
+def encode_segment_line(json_text: str) -> str:
+    """One persisted log line: compact JSON + tab + CRC32 of the JSON.
+
+    Compact JSON contains no raw tab, so the last tab always separates
+    the checksum column.
+    """
+    crc = zlib.crc32(json_text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{json_text}\t{crc:08x}"
+
+
+def decode_segment_line(line: str) -> str:
+    """Verify a persisted line's CRC and return the JSON payload.
+
+    Lines without a CRC column (the pre-PR-8 format) pass through
+    unchecked.  Raises :class:`~repro.errors.SegmentCorruptionError`
+    on a checksum mismatch or an unparseable checksum field.
+    """
+    text, sep, crc_hex = line.rpartition("\t")
+    if not sep:
+        return line
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        raise SegmentCorruptionError(
+            f"unparseable CRC field {crc_hex!r}") from None
+    actual = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise SegmentCorruptionError(
+            f"CRC mismatch: {actual:08x} != {expected:08x}")
+    return text
 
 
 @dataclass(frozen=True)
@@ -96,7 +143,8 @@ class SegmentedLog:
 
     def __init__(self, max_segment_records: int = 4096,
                  max_segment_span: Optional[int] = None,
-                 directory: Optional[Path] = None) -> None:
+                 directory: Optional[Path] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if max_segment_records <= 0:
             raise ServeError("max_segment_records must be positive")
         if max_segment_span is not None and max_segment_span <= 0:
@@ -104,8 +152,16 @@ class SegmentedLog:
         self.max_segment_records = max_segment_records
         self.max_segment_span = max_segment_span
         self.directory = Path(directory) if directory is not None else None
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        self.fault_plan = fault_plan
         self._segments: List[Segment] = [Segment(0)]
         self._compactions = 0
+        #: Salvage accounting, populated by :meth:`load` on a damaged
+        #: directory (and surfaced in :meth:`stats`).
+        self.torn_lines = 0
+        self.records_salvaged = 0
+        self.segments_quarantined = 0
 
     # -- append / roll --------------------------------------------------------
 
@@ -272,12 +328,34 @@ class SegmentedLog:
         return self.directory / f"segment-{segment.base_offset:012d}.jsonl"
 
     def _write_segment(self, segment: Segment) -> None:
+        """Persist one sealed segment atomically: tmp + fsync + rename.
+
+        The ``.tmp`` name never matches the ``segment-*.jsonl`` glob,
+        so a crash mid-write leaves at worst a stray tmp file — never a
+        half-written segment that :meth:`load` would pick up.  A
+        ``log.torn_write`` fault truncates the payload *before* the
+        rename, simulating the torn write a power cut produces on
+        filesystems without data journaling.
+        """
         assert self.directory is not None
         self.directory.mkdir(parents=True, exist_ok=True)
-        with self._segment_path(segment).open("w", encoding="utf-8") as fh:
-            for record in segment.records:
-                fh.write(record.to_json())
-                fh.write("\n")
+        path = self._segment_path(segment)
+        payload = "".join(encode_segment_line(record.to_json()) + "\n"
+                          for record in segment.records).encode("utf-8")
+        plan = self.fault_plan
+        if (plan is not None and payload
+                and plan.fires("log.torn_write", path.name)):
+            cut = 1 + plan.stream("log.torn_write", path.name).randrange(
+                min(len(payload), 256))
+            payload = payload[:-cut]
+            get_resilience_metrics().faults_injected.labels(
+                kind="log.torn_write").inc()
+        tmp = path.parent / (path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     def _rewrite_directory(self) -> None:
         """Replace on-disk segments after compaction re-packed offsets."""
@@ -301,30 +379,96 @@ class SegmentedLog:
                 written += 1
         return written
 
+    @staticmethod
+    def _read_segment_file(path: Path) -> Tuple[List[FeedRecord], List[str]]:
+        """Read one segment file, tolerating a torn tail.
+
+        Returns ``(records, torn)``: the longest decodable prefix and
+        the raw lines dropped from the first corrupt line on.  A torn
+        write only ever damages a suffix, so everything after the
+        first bad line is suspect and quarantined wholesale.
+        """
+        records: List[FeedRecord] = []
+        torn: List[str] = []
+        try:
+            lines = path.read_text(encoding="utf-8",
+                                   errors="replace").split("\n")
+        except OSError:
+            return [], []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(FeedRecord.from_json(decode_segment_line(line)))
+            except (SegmentCorruptionError, ValueError, KeyError, TypeError):
+                torn = [l for l in lines[index:] if l.strip()]
+                break
+        return records, torn
+
     @classmethod
     def load(cls, directory: Path, **kwargs) -> "SegmentedLog":
-        """Rebuild a log from a directory of sealed segment files."""
+        """Rebuild a log from a directory of sealed segment files.
+
+        Damage-tolerant by contract: this never raises on a corrupt or
+        truncated directory.  Each file contributes its longest clean
+        prefix; torn tails are appended to a ``<segment>.torn`` sidecar
+        and counted (:attr:`torn_lines`); files with nothing salvageable
+        are dropped (:attr:`segments_quarantined`); and when records
+        were lost, later segments are re-based so offsets stay
+        contiguous — every complete record in the directory survives.
+        Any salvage rewrites the directory to the repaired state, so the
+        next load is clean.
+        """
         directory = Path(directory)
         log = cls(directory=directory, **kwargs)
         paths = sorted(directory.glob("segment-*.jsonl"))
         if not paths:
             return log
+        metrics = get_resilience_metrics()
+        logger = get_logger("resilience")
         segments: List[Segment] = []
+        next_base: Optional[int] = None
+        dirty = False
         for path in paths:
             base = int(path.stem.split("-", 1)[1])
-            segment = Segment(base)
-            with path.open("r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if line:
-                        segment.append(FeedRecord.from_json(line))
+            records, torn = cls._read_segment_file(path)
+            if torn:
+                dirty = True
+                log.torn_lines += len(torn)
+                log.records_salvaged += len(records)
+                metrics.torn_lines.inc(len(torn))
+                metrics.records_salvaged.inc(len(records))
+                sidecar = path.parent / (path.name + ".torn")
+                with sidecar.open("a", encoding="utf-8") as fh:
+                    for line in torn:
+                        fh.write(line + "\n")
+                logger.warning(
+                    f"segment {path.name}: salvaged {len(records)} "
+                    f"record(s), quarantined {len(torn)} torn line(s)",
+                    segment=path.name, salvaged=len(records), torn=len(torn))
+            if not records:
+                dirty = True
+                log.segments_quarantined += 1
+                metrics.segments_quarantined.inc()
+                continue
+            if next_base is not None and base != next_base:
+                # A predecessor lost tail records (or a whole file is
+                # gone): close the gap so offsets stay contiguous.
+                dirty = True
+                logger.warning(
+                    f"segment {path.name}: re-based {base} -> {next_base}",
+                    segment=path.name)
+            segment = Segment(next_base if next_base is not None else base)
+            for record in records:
+                segment.append(record)
             segment.sealed = True
             segments.append(segment)
-        for prev, nxt in zip(segments, segments[1:]):
-            if prev.end_offset != nxt.base_offset:
-                raise ServeError(
-                    f"segment gap: {prev.end_offset} != {nxt.base_offset}")
+            next_base = segment.end_offset
+        if not segments:
+            return log
         log._segments = segments + [Segment(segments[-1].end_offset)]
+        if dirty:
+            log._rewrite_directory()
         return log
 
     # -- introspection --------------------------------------------------------
@@ -344,4 +488,7 @@ class SegmentedLog:
             "start_offset": self.start_offset,
             "end_offset": self.end_offset,
             "compactions": self._compactions,
+            "torn_lines": self.torn_lines,
+            "records_salvaged": self.records_salvaged,
+            "segments_quarantined": self.segments_quarantined,
         }

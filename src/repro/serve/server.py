@@ -35,8 +35,11 @@ from typing import Dict, List, Optional, Union
 from repro.bus.broker import Broker, TOPIC_FEED
 from repro.core.feed import FeedRecord, read_jsonl_records
 from repro.errors import ServeError
+from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
+from repro.resilience.faults import FaultPlan
+from repro.resilience.metrics import get_resilience_metrics
 from repro.serve.fanout import FanoutDispatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.ratelimit import RateLimiter, TierPolicy
@@ -62,6 +65,15 @@ class FeedServerConfig:
     poll_batch: int = 1000
     #: Tier policy overrides (None: ratelimit.DEFAULT_TIERS).
     tiers: Optional[Dict[str, TierPolicy]] = None
+    #: Deterministic fault plan (``serve.stall`` consumers,
+    #: ``log.torn_write`` in the segment writer); a string parses via
+    #: :meth:`FaultPlan.parse`.
+    fault_plan: Optional[FaultPlan] = None
+    #: Total-pending threshold above which overload shedding kicks in
+    #: (None: shedding off).  Subscribers are shed lowest tier first.
+    shed_pending_threshold: Optional[int] = None
+    #: Tier order for shedding, cheapest casualties first.
+    shed_tier_order: tuple = ("free", "standard", "premium")
 
 
 class FeedServer:
@@ -71,11 +83,14 @@ class FeedServer:
                  config: Optional[FeedServerConfig] = None) -> None:
         self.broker = broker
         self.config = config if config is not None else FeedServerConfig()
+        if isinstance(self.config.fault_plan, str):
+            self.config.fault_plan = FaultPlan.parse(self.config.fault_plan)
         self.metrics = ServeMetrics()
         self.log = SegmentedLog(
             max_segment_records=self.config.max_segment_records,
             max_segment_span=self.config.max_segment_span,
-            directory=self.config.log_dir)
+            directory=self.config.log_dir,
+            fault_plan=self.config.fault_plan)
         self.limiter = RateLimiter(self.config.tiers)
         self.subscriptions = SubscriptionManager(
             allowed_tiers=self.limiter.tiers)
@@ -85,6 +100,9 @@ class FeedServer:
             evict_after_drops=self.config.evict_after_drops,
             metrics=self.metrics)
         self._replay_skipped = 0
+        self._shed_total = 0
+        self._resilience = get_resilience_metrics()
+        self._log = get_logger("resilience")
         #: Observation time of the newest ingested record (drive loops
         #: use it as "server now" between pump batches).
         self.last_ingested_ts = 0
@@ -163,7 +181,41 @@ class FeedServer:
             if self.fanout.is_evicted(client_id):
                 self.subscriptions.unsubscribe(client_id)
                 self.limiter.forget(client_id)
+        threshold = self.config.shed_pending_threshold
+        if threshold is not None and self.fanout.pending() > threshold:
+            self._shed_overload(at)
         return accepted
+
+    def _shed_overload(self, now: int) -> None:
+        """Shed subscribers until total pending is back under threshold.
+
+        Victims are chosen lowest tier first (``shed_tier_order``:
+        free before standard before premium — paying consumers keep
+        their feed), and within a tier the client with the deepest
+        backlog goes first (ties broken by client id, so the order is
+        deterministic).  Shedding unsubscribes the client entirely:
+        half-serving an overloaded queue only hides the lag.
+        """
+        threshold = self.config.shed_pending_threshold
+        if threshold is None:
+            return
+        by_tier: Dict[str, List[str]] = {}
+        for client_id, tier in self.subscriptions.tiers().items():
+            by_tier.setdefault(tier, []).append(client_id)
+        for tier in self.config.shed_tier_order:
+            victims = sorted(by_tier.get(tier, ()),
+                             key=lambda cid: (-self.fanout.pending(cid), cid))
+            for client_id in victims:
+                if self.fanout.pending() <= threshold:
+                    return
+                pending = self.fanout.pending(client_id)
+                self.unsubscribe(client_id)
+                self._shed_total += 1
+                self.metrics.shed_clients.inc()
+                self._resilience.shed_clients.labels(tier=tier).inc()
+                self._log.warning("overload: shed subscriber",
+                                  client_id=client_id, tier=tier,
+                                  pending=pending, at=now)
 
     def pump(self, max_messages: Optional[int] = None) -> int:
         """Ingest every new record from the broker's feed topic.
@@ -264,6 +316,17 @@ class FeedServer:
         poll clamped to zero counts one ``dropped_rate_limited`` (the
         records stay queued — limiting defers, it does not discard).
         """
+        plan = self.config.fault_plan
+        if plan is not None and plan.wants("serve.stall"):
+            spec = plan.fires("serve.stall", client_id, str(now),
+                              target=client_id, at=now)
+            if spec is not None:
+                # A stalled consumer simply doesn't drain its queue;
+                # the records stay put (and back-pressure/shedding sees
+                # the growing backlog).
+                self._resilience.faults_injected.labels(
+                    kind="serve.stall").inc()
+                return []
         available = self.limiter.available(client_id, now)
         allowed = (max_records if available == float("inf")
                    else min(max_records, int(available)))
@@ -309,6 +372,7 @@ class FeedServer:
         snap["clients"] = self.client_count
         snap["pending"] = self.fanout.pending()
         snap["replay_skipped"] = self._replay_skipped
+        snap["shed_total"] = self._shed_total
         snap["log"] = self.log.stats()
         snap["shards"] = self.fanout.shard_loads()
         return snap

@@ -14,6 +14,7 @@ from __future__ import annotations
 import gc
 import hashlib
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -25,10 +26,16 @@ from repro.ct.ctlog import CTLog
 from repro.czds.archive import SnapshotArchive
 from repro.czds.dzdb import DZDB
 from repro.dnscore.interned import configure_interner
-from repro.errors import ConfigError, ValidationError
+from repro.errors import (
+    ConfigError,
+    ShardRetryExhausted,
+    ValidationError,
+    WorkerCrashError,
+)
 from repro.intel.blocklist import BlocklistPanel
 from repro.intel.labels import GroundTruth
 from repro.intel.nod import NODFeed
+from repro.obs.log import get_logger
 from repro.obs.profiler import SamplingProfiler, active as profiler_active
 from repro.obs.progress import build_progress
 from repro.obs.spans import Span, span, tracer
@@ -36,6 +43,8 @@ from repro.registry.lifecycle import DomainLifecycle, RemovalReason
 from repro.registry.policy import DEFAULT_POLICIES, policy_for
 from repro.registry.registrar import TakedownModel
 from repro.registry.registry import Registry, RegistryGroup, lifecycle_rows
+from repro.resilience.faults import FaultPlan
+from repro.resilience.metrics import get_resilience_metrics
 from repro.simtime.clock import DAY, HOUR, MINUTE, PAPER_WINDOW, Window, day_floor
 from repro.simtime.rng import RngStream, StreamBank, WeightedSampler
 from repro.workload import calibration as cal
@@ -100,6 +109,20 @@ class ScenarioConfig:
     #: invariant — see ``docs/determinism.md``); this knob only trades
     #: processes for wall-clock.
     parallel: int = 1
+    #: Deterministic fault plan (``--fault-plan``); a string parses via
+    #: :meth:`FaultPlan.parse`.  The supervised parallel build survives
+    #: injected ``worker.crash``/``worker.hang`` faults and still
+    #: produces the bit-identical world (docs/resilience.md).
+    fault_plan: Optional[FaultPlan] = None
+    #: Resubmissions allowed per crashed/overrunning build shard before
+    #: the supervisor escalates (``--max-shard-retries``).
+    max_shard_retries: int = 2
+    #: Wall-clock seconds a shard may run before the supervisor
+    #: abandons the attempt (None: no deadline).
+    shard_deadline: Optional[float] = None
+    #: Rebuild a poison shard in-process after retries are exhausted;
+    #: False raises :class:`~repro.errors.ShardRetryExhausted` instead.
+    serial_fallback: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -108,6 +131,12 @@ class ScenarioConfig:
             raise ConfigError("campaign_fraction must be in [0, 1]")
         if self.parallel < 0:
             raise ConfigError("parallel must be >= 0 (0 = one per core)")
+        if isinstance(self.fault_plan, str):
+            self.fault_plan = FaultPlan.parse(self.fault_plan)
+        if self.max_shard_retries < 0:
+            raise ConfigError("max_shard_retries must be >= 0")
+        if self.shard_deadline is not None and self.shard_deadline <= 0:
+            raise ConfigError("shard_deadline must be positive")
 
 
 @dataclass
@@ -501,17 +530,55 @@ def _populate_tld(config: ScenarioConfig, tld_targets: TLDTargets,
 # Multi-core build: per-TLD worker shards + canonical-order merge
 # ---------------------------------------------------------------------------
 
-def _build_tld_shard(
-        payload: Tuple[ScenarioConfig, TLDTargets, int, Optional[float]]):
-    """Worker entry point: build one TLD against private substrates.
+def _build_shard_arrays(config: ScenarioConfig, tld_targets: TLDTargets,
+                        capick_offset: int):
+    """Build one TLD against private substrates; return compact arrays.
 
-    Runs in a pool process.  Reconstructs the scenario's stream bank
-    from the master seed, fast-forwards the shared capick stream to
-    this TLD's precomputed offset, populates a private registry/DZDB,
-    and returns everything as compact picklable arrays — registration
-    rows, dirty zone ticks, DZDB intervals, DV-token seeds (by CA
-    index), certificate-request events, and counters.  No lifecycle,
-    CA, or timeline object crosses the process boundary.
+    The process-agnostic shard core: reconstructs the scenario's
+    stream bank from the master seed, fast-forwards the shared capick
+    stream to this TLD's precomputed offset, populates a private
+    registry/DZDB, and returns everything as picklable arrays —
+    registration rows, dirty zone ticks, DZDB intervals, DV-token
+    seeds (by CA index), certificate-request events, and counters.  No
+    lifecycle, CA, or timeline object crosses the process boundary.
+
+    Both the pool worker (:func:`_build_tld_shard`) and the
+    supervisor's in-process serial fallback for a poison shard call
+    this — the fallback must NOT run the worker wrapper, whose tracer
+    reset would wipe the parent's live spans.
+    """
+    bank = StreamBank(config.seed)
+    bank.stream("capick").fast_forward(capick_offset)
+    registry = Registry(policy_for(tld_targets.tld))
+    dzdb = DZDB()
+    tokens: List[Tuple[int, str, int]] = []
+    cert_events: List[CertEvent] = []
+    stats = dict.fromkeys(_STAT_KEYS, 0)
+    with span("build.populate_tld", tld=tld_targets.tld) as sp:
+        _populate_tld(
+            config, tld_targets, bank, registry, dzdb,
+            lambda index, domain, ts: tokens.append((index, domain, ts)),
+            cert_events, stats)
+        sp.annotate(nrd=tld_targets.total_nrd)
+    return (tld_targets.tld, lifecycle_rows(registry),
+            tuple(registry.dirty_tick_indices()), dzdb.export_rows(),
+            tokens, cert_events, stats)
+
+
+def _build_tld_shard(
+        payload: Tuple[ScenarioConfig, TLDTargets, int, Optional[float], int]):
+    """Worker entry point: one TLD shard in a pool process.
+
+    Wraps :func:`_build_shard_arrays` with the per-process concerns —
+    tracer reset, optional sampling profiler, GC pause, interner
+    sizing — and with the build-side fault injection: when the
+    scenario's fault plan fires ``worker.hang`` the worker sleeps
+    before doing any work (exercising the supervisor's shard
+    deadline), and ``worker.crash`` raises
+    :class:`~repro.errors.WorkerCrashError` so the supervisor sees a
+    failed future exactly as it would for a real worker bug.  The
+    injection decision is a pure function of ``(plan seed, tld,
+    attempt)``, so retries of the same shard re-roll deterministically.
 
     The worker instruments itself: its (forked) process tracer is
     reset and records a ``build.populate_tld`` span, and when the
@@ -521,10 +588,19 @@ def _build_tld_shard(
     parent to stitch (:meth:`Tracer.adopt_spans` /
     :meth:`SamplingProfiler.merge_counts`).
     """
-    config, tld_targets, capick_offset, profile_interval = payload
+    config, tld_targets, capick_offset, profile_interval, attempt = payload
     trace = tracer()
     trace.detach_sink()   # the inherited sink handle belongs to the parent
     trace.reset()
+    tld = tld_targets.tld
+    plan = config.fault_plan
+    if plan is not None:
+        hang = plan.fires("worker.hang", tld, target=tld, attempt=attempt)
+        if hang is not None and hang.delay > 0:
+            time.sleep(hang.delay)
+        if plan.fires("worker.crash", tld, target=tld, attempt=attempt):
+            raise WorkerCrashError(
+                f"injected worker crash: shard {tld} attempt {attempt}")
     profiler: Optional[SamplingProfiler] = None
     if profile_interval is not None:
         profiler = SamplingProfiler(interval=profile_interval).start()
@@ -537,26 +613,12 @@ def _build_tld_shard(
         gc.disable()
     try:
         configure_interner(4 * tld_targets.total_nrd + 10_000)
-        bank = StreamBank(config.seed)
-        bank.stream("capick").fast_forward(capick_offset)
-        registry = Registry(policy_for(tld_targets.tld))
-        dzdb = DZDB()
-        tokens: List[Tuple[int, str, int]] = []
-        cert_events: List[CertEvent] = []
-        stats = dict.fromkeys(_STAT_KEYS, 0)
-        with span("build.populate_tld", tld=tld_targets.tld) as sp:
-            _populate_tld(
-                config, tld_targets, bank, registry, dzdb,
-                lambda index, domain, ts: tokens.append((index, domain, ts)),
-                cert_events, stats)
-            sp.annotate(nrd=tld_targets.total_nrd)
+        arrays = _build_shard_arrays(config, tld_targets, capick_offset)
         if profiler is not None:
             profiler.stop()
-        return (tld_targets.tld, lifecycle_rows(registry),
-                tuple(registry.dirty_tick_indices()), dzdb.export_rows(),
-                tokens, cert_events, stats, os.getpid(),
-                trace.export_records(),
-                profiler.export_counts() if profiler is not None else [])
+        return arrays + (os.getpid(), trace.export_records(),
+                         profiler.export_counts()
+                         if profiler is not None else [])
     finally:
         if profiler is not None:
             profiler.stop()
@@ -604,9 +666,22 @@ def _merge_shards(config: ScenarioConfig, targets: Dict[str, TLDTargets],
     of the worker pid, labels only — never fingerprinted); profile
     counts fold into the parent's active profiler.  ``on_rows`` is the
     live-progress hook, called with each shard's row count as it lands.
+
+    Supervision: a shard whose future crashes (a real worker bug or an
+    injected ``worker.crash``) or overruns ``config.shard_deadline``
+    is resubmitted up to ``config.max_shard_retries`` times; a shard
+    that is still failing then is rebuilt in-process via
+    :func:`_build_shard_arrays` (``config.serial_fallback``, the
+    default) or the build raises
+    :class:`~repro.errors.ShardRetryExhausted`.  Because shards are
+    order-independent by construction — every draw comes from
+    TLD-scoped streams or a precomputed capick offset — recovery is
+    invisible to the world bytes: the fingerprint under injected
+    crashes equals the fault-free one (``docs/resilience.md``).
     """
     import multiprocessing
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
 
     profiler = profiler_active()
     profile_interval = None
@@ -636,25 +711,123 @@ def _merge_shards(config: ScenarioConfig, targets: Dict[str, TLDTargets],
     deferred = {}
     trace = tracer()
     worker_ids: Dict[int, int] = {}
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-        pending = {pool.submit(_build_tld_shard, payloads[tld])
-                   for tld in submission}
+    metrics = get_resilience_metrics()
+    log = get_logger("resilience")
+    deadline = config.shard_deadline
+
+    def merge_shard(tld: str, rows, dirty_ticks, dzdb_rows, tokens,
+                    shard_events, shard_stats) -> None:
+        registries.get(tld).register_many(rows, dirty_ticks)
+        if on_rows is not None:
+            on_rows(len(rows))
+        cert_events.extend(shard_events)
+        deferred[tld] = (dzdb_rows, tokens, shard_stats)
+
+    #: Poison shards headed for the in-process serial fallback.
+    fallback: Set[str] = set()
+    #: Futures whose hung workers were abandoned past the deadline; a
+    #: slot may still be burning, so shutdown must not wait on them.
+    abandoned = 0
+
+    def handle_failure(tld: str, attempt: int, reason: str,
+                       resubmit: Callable[[str, int], None]) -> None:
+        metrics.worker_failures.labels(reason=reason).inc()
+        if attempt < config.max_shard_retries:
+            metrics.shard_retries.inc()
+            log.warning(f"build shard {tld} {reason} "
+                        f"(attempt {attempt}); retrying",
+                        tld=tld, attempt=attempt, reason=reason)
+            with span("recovery.shard_retry", tld=tld,
+                      attempt=attempt + 1, reason=reason):
+                resubmit(tld, attempt + 1)
+            return
+        if config.serial_fallback:
+            metrics.serial_fallbacks.inc()
+            log.warning(f"build shard {tld} exhausted "
+                        f"{config.max_shard_retries} retries; "
+                        f"rebuilding in-process",
+                        tld=tld, attempt=attempt, reason=reason)
+            fallback.add(tld)
+            return
+        raise ShardRetryExhausted(
+            f"build shard {tld} failed {attempt + 1} attempt(s) "
+            f"({reason}) and serial fallback is disabled")
+
+    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    pending: Dict[object, Tuple[str, int, float]] = {}
+
+    def submit(tld: str, attempt: int) -> None:
+        future = pool.submit(_build_tld_shard, payloads[tld] + (attempt,))
+        pending[future] = (tld, attempt, time.monotonic())
+
+    try:
+        for tld in submission:
+            submit(tld, 0)
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            timeout = None
+            if deadline is not None:
+                next_overrun = min(t0 + deadline
+                                   for _, _, t0 in pending.values())
+                timeout = max(0.01, next_overrun - time.monotonic())
+            done, _ = wait(set(pending), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
             for future in done:
+                tld, attempt, _t0 = pending[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    raise  # every in-flight shard is lost; handled below
+                except Exception as exc:
+                    pending.pop(future)
+                    if isinstance(exc, WorkerCrashError):
+                        metrics.faults_injected.labels(
+                            kind="worker.crash").inc()
+                    handle_failure(tld, attempt, "crash", submit)
+                    continue
+                pending.pop(future)
                 (tld, rows, dirty_ticks, dzdb_rows, tokens, shard_events,
                  shard_stats, worker_pid, span_records,
-                 profile_counts) = future.result()
+                 profile_counts) = result
                 worker = worker_ids.setdefault(worker_pid, len(worker_ids))
                 trace.adopt_spans(span_records, parent=merge_span,
                                   worker=worker)
                 if profiler is not None and profile_counts:
                     profiler.merge_counts(profile_counts)
-                registries.get(tld).register_many(rows, dirty_ticks)
-                if on_rows is not None:
-                    on_rows(len(rows))
-                cert_events.extend(shard_events)
-                deferred[tld] = (dzdb_rows, tokens, shard_stats)
+                merge_shard(tld, rows, dirty_ticks, dzdb_rows, tokens,
+                            shard_events, shard_stats)
+            if deadline is not None:
+                now = time.monotonic()
+                for future, (tld, attempt, t0) in list(pending.items()):
+                    if now - t0 >= deadline:
+                        pending.pop(future)
+                        if not future.cancel():
+                            abandoned += 1
+                        handle_failure(tld, attempt, "deadline", submit)
+    except BrokenProcessPool:
+        # A worker died at the OS level (segfault, OOM kill): the pool
+        # is unusable and every in-flight shard is lost.  Route them
+        # all through the serial fallback rather than killing the run.
+        lost = sorted({entry[0] for entry in pending.values()})
+        pending.clear()
+        if not config.serial_fallback:
+            raise ShardRetryExhausted(
+                f"worker pool broke; lost shards: {', '.join(lost)}")
+        log.error("worker pool broke; rebuilding lost shards in-process",
+                  shards=",".join(lost))
+        for tld in lost:
+            metrics.worker_failures.labels(reason="pool_broken").inc()
+            metrics.serial_fallbacks.inc()
+        fallback.update(lost)
+    finally:
+        # A worker abandoned past its deadline may still be burning a
+        # slot; only wait for the pool when every worker is accounted
+        # for (orphans are joined at interpreter exit).
+        pool.shutdown(wait=abandoned == 0, cancel_futures=True)
+
+    for tld in sorted(fallback):
+        with span("recovery.serial_fallback", tld=tld):
+            merge_shard(*_build_shard_arrays(config, targets[tld],
+                                             payloads[tld][2]))
     for tld in sorted(deferred):
         dzdb_rows, tokens, shard_stats = deferred[tld]
         dzdb.merge_rows(dzdb_rows)
