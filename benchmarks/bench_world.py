@@ -127,6 +127,69 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
     return report
 
 
+def run_jobs_sweep(jobs_list, inv_scale: int = INV_SCALE, seed: int = SEED,
+                   include_cctld: bool = False, rounds: int = 1) -> dict:
+    """Scaling sweep: the same build at each ``--jobs`` value.
+
+    For every entry the sweep records the best-of-``rounds`` wall time
+    plus, for multi-core runs, the two health numbers of the
+    per-``(tld, month)`` shard layout:
+
+    * ``parallel_efficiency`` — ``T1 / (N * TN)`` with ``N`` the
+      *resolved* worker count (``--jobs 0`` resolves to the core
+      count), read from the ``build.merge_shards`` span labels.  1.0 is
+      perfect linear scaling; the CI gate holds jobs=2 above 0.7.
+    * ``straggler_ratio`` — the widest single ``build.populate_shard``
+      span over the merge-phase elapsed wall.  Under the old per-TLD
+      layout the ``.com`` shard alone was ≈0.9 of the build; with
+      per-month shards the acceptance bound is < 0.5.
+
+    Every serial/parallel pair is also a determinism probe: the sweep
+    asserts all fingerprints agree before reporting timings.
+    """
+    sweep = {"inv_scale": inv_scale, "seed": seed,
+             "include_cctld": include_cctld, "runs": []}
+    t1 = None
+    fingerprints = set()
+    for jobs in jobs_list:
+        best = None
+        for _ in range(max(1, rounds)):
+            tracer().reset()
+            config = ScenarioConfig(seed=seed, scale=1.0 / inv_scale,
+                                    include_cctld=include_cctld,
+                                    parallel=jobs)
+            start = time.perf_counter()
+            world = build_world(config)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        fingerprints.add(world_fingerprint(world))
+        run = {"jobs": jobs, "build_sec": round(best, 4)}
+        merge = [s for s in tracer().spans
+                 if s.name == "build.merge_shards"]
+        if merge:
+            resolved = int(merge[0].labels["jobs"])
+            populate = [s.wall_sec for s in tracer().spans
+                        if s.name == "build.populate_shard"]
+            run["resolved_jobs"] = resolved
+            if populate and merge[0].wall_sec > 0:
+                run["max_shard_sec"] = round(max(populate), 4)
+                run["straggler_ratio"] = round(
+                    max(populate) / merge[0].wall_sec, 3)
+            if t1 is not None and resolved > 0:
+                run["parallel_efficiency"] = round(
+                    t1 / (resolved * best), 3)
+            run["speedup"] = round(t1 / best, 2) if t1 else None
+        elif jobs == 1:
+            t1 = best
+        sweep["runs"].append(run)
+    if len(fingerprints) > 1:
+        raise SystemExit(f"jobs sweep fingerprints diverged: "
+                         f"{sorted(fingerprints)}")
+    sweep["fingerprint"] = next(iter(fingerprints))
+    return sweep
+
+
 def measure_span_overhead(inv_scale: int = INV_SCALE, seed: int = SEED,
                           include_cctld: bool = False,
                           rounds: int = 3, jobs: int = 1) -> dict:
@@ -256,6 +319,13 @@ def main() -> None:
                         help="worker processes for world generation "
                              "(default 1 = serial, 0 = one per core; the "
                              "fingerprint is identical for any value)")
+    parser.add_argument("--jobs-sweep", metavar="LIST", default=None,
+                        help="comma-separated jobs values (e.g. 1,2,4,0) "
+                             "to build at in sequence; reports per-jobs "
+                             "wall time, parallel_efficiency (T1/(N*TN)) "
+                             "and straggler_ratio (widest shard span / "
+                             "merge elapsed), and asserts every run's "
+                             "fingerprint agrees")
     parser.add_argument("--fault-plan", metavar="SPEC", default=None,
                         help="deterministic fault-injection plan for the "
                              "measured build (CI chaos smoke: the "
@@ -298,6 +368,11 @@ def main() -> None:
             inv_scale=args.inv_scale, seed=args.seed,
             include_cctld=args.cctld, rounds=max(6, rounds),
             jobs=args.jobs))
+    if args.jobs_sweep:
+        jobs_list = [int(j) for j in args.jobs_sweep.split(",") if j != ""]
+        report["jobs_sweep"] = run_jobs_sweep(
+            jobs_list, inv_scale=args.inv_scale, seed=args.seed,
+            include_cctld=args.cctld, rounds=rounds)["runs"]
     print(json.dumps(report, indent=2, sort_keys=True))
     if args.check_baseline:
         # Imported lazily: conftest pulls in pytest only when present.
@@ -324,7 +399,7 @@ def main() -> None:
         # Every gated run leaves one line of history, pass or fail —
         # the append-only perf trajectory (S2, docs/observability.md).
         from conftest import append_trend
-        append_trend({
+        record = {
             "ts": args.timestamp if args.timestamp is not None
             else int(time.time()),
             "rev": _git_rev(),
@@ -338,7 +413,10 @@ def main() -> None:
             "peak_rss_mb": report["peak_rss_mb"],
             "fingerprint": report.get("fingerprint"),
             "ok": not problems,
-        })
+        }
+        if "jobs_sweep" in report:
+            record["jobs_sweep"] = report["jobs_sweep"]
+        append_trend(record)
         if problems:
             print("\n".join(problems), file=sys.stderr)
             raise SystemExit(1)

@@ -6,7 +6,7 @@ target thread's live frame from ``sys._current_frames()``, and counts
 the call stack it sees.  Each sample is attributed to the *innermost
 active span* of the tracer at that instant (via
 :meth:`~repro.obs.spans.Tracer.current_span`), so the output answers
-"where inside ``build.populate_tld`` does the time actually go" — the
+"where inside ``build.populate_shard`` does the time actually go" — the
 profiling evidence the compiled-hot-core work (ROADMAP item 2) needs.
 
 Output formats:

@@ -5,8 +5,10 @@ This module gives long runs a pulse, in two parts:
 
 * :class:`BuildProgress` — a registry provider (group ``"progress"``)
   of *pull* gauges: ``registrations`` (how many registrations the
-  build has materialised so far, fed live by the scenario layer) and
-  ``rss_kb`` (current — not high-water — process RSS, read from
+  build has materialised so far, fed live by the scenario layer),
+  ``shards_done``/``shards_total`` (completed ``(tld, month)`` build
+  shards, plus the longest-in-flight shard label for the heartbeat)
+  and ``rss_kb`` (current — not high-water — process RSS, read from
   ``/proc/self/statm`` where available).  Pull-based means nothing is
   pushed on the build hot path: the gauges evaluate their sources only
   when something (the heartbeat, an exposition snapshot) reads them.
@@ -60,6 +62,12 @@ class BuildProgress:
     whatever live count it has — the serial build's stats dict, the
     parallel build's merged-row counter — and clears it when the build
     returns.  Between builds the gauge reads 0.
+
+    :meth:`set_shards_source` is the shard-completion analogue for the
+    per-``(tld, month)`` build: a source returning ``(done, total)``
+    shard counts, rendered by the heartbeat as ``shards=done/total``.
+    :meth:`set_current_shard_source` names the longest-in-flight shard
+    (the likely straggler) for the same line.
     """
 
     def __init__(self) -> None:
@@ -68,8 +76,16 @@ class BuildProgress:
                              "in-flight build")
         self.rss = Gauge("rss_kb", "current process RSS")
         self.rss.set_function(current_rss_kb)
+        self.shards_done = Gauge(
+            "shards_done", "build shards fully merged so far")
+        self.shards_total = Gauge(
+            "shards_total", "build shards of the in-flight build")
         self._source: Optional[Callable[[], int]] = None
+        self._shards_source: Optional[Callable[[], tuple]] = None
+        self._current_shard_source: Optional[Callable[[], str]] = None
         self.registrations.set_function(self._read)
+        self.shards_done.set_function(lambda: self._read_shards()[0])
+        self.shards_total.set_function(lambda: self._read_shards()[1])
 
     def _read(self) -> int:
         source = self._source
@@ -78,20 +94,52 @@ class BuildProgress:
         except Exception:           # a dying source must not kill telemetry
             return 0
 
+    def _read_shards(self) -> tuple:
+        source = self._shards_source
+        try:
+            if source is not None:
+                done, total = source()
+                return int(done), int(total)
+        except Exception:           # a dying source must not kill telemetry
+            pass
+        return 0, 0
+
+    def current_shard(self) -> str:
+        source = self._current_shard_source
+        try:
+            return str(source()) if source is not None else ""
+        except Exception:           # a dying source must not kill telemetry
+            return ""
+
     def set_registrations_source(self, fn: Callable[[], int]) -> None:
         self._source = fn
 
+    def set_shards_source(self, fn: Callable[[], tuple]) -> None:
+        self._shards_source = fn
+
+    def set_current_shard_source(self, fn: Callable[[], str]) -> None:
+        self._current_shard_source = fn
+
     def clear(self) -> None:
         self._source = None
+        self._shards_source = None
+        self._current_shard_source = None
 
     # -- provider protocol ----------------------------------------------------
 
     def snapshot(self) -> dict:
-        return {"registrations": int(self.registrations.value),
-                "rss_kb": int(self.rss.value)}
+        done, total = self._read_shards()
+        snap = {"registrations": int(self.registrations.value),
+                "rss_kb": int(self.rss.value),
+                "shards_done": done, "shards_total": total}
+        current = self.current_shard()
+        if current:
+            snap["current_shard"] = current
+        return snap
 
     def metrics(self):
-        return (self.registrations, self.rss)
+        return (self.registrations, self.rss, self.shards_done,
+                self.shards_total)
 
 
 #: The process provider, registered as the registry's "progress" group.
@@ -170,6 +218,13 @@ class Heartbeat:
             regs = snap.get("registrations", 0)
             if regs:
                 parts.append(f"regs={_fmt_count(regs)}")
+            total = snap.get("shards_total", 0)
+            if total:
+                shards = f"shards={snap.get('shards_done', 0)}/{total}"
+                current = snap.get("current_shard", "")
+                if current:
+                    shards += f"({current})"
+                parts.append(shards)
             parts.append(f"rss={_fmt_rss(snap.get('rss_kb', 0))}")
         return " ".join(parts)
 

@@ -1,7 +1,7 @@
 """Phase spans: wall time, sim time, and peak RSS per named phase.
 
-``with span("build.populate_tld", tld="com"): ...`` times one phase of
-a run.  Finished spans accumulate on the process :class:`Tracer` —
+``with span("build.populate_shard", tld="com", month="2023-11"): ...``
+times one phase of a run.  Finished spans accumulate on the process :class:`Tracer` —
 per-phase call counts, wall seconds, annotated sim seconds, error
 counts, and the process peak RSS observed at span exit — and each span
 can also be streamed to a JSONL sink as a structured event.  The

@@ -15,6 +15,7 @@ everything observable from them:
 from __future__ import annotations
 
 from bisect import bisect_right, insort
+from itertools import islice
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.dnscore import name as dnsname
@@ -340,11 +341,14 @@ LIFECYCLE_FIELDS: Tuple[str, ...] = (
 )
 
 
-def lifecycle_rows(registry: Registry) -> List[Tuple]:
-    """Flatten every lifecycle of ``registry`` into compact rows.
+def lifecycle_rows(registry: Registry, start: int = 0,
+                   stop: Optional[int] = None) -> List[Tuple]:
+    """Flatten lifecycles of ``registry`` into compact rows.
 
     Args:
         registry: the (typically worker-private) registry to export.
+        start: first lifecycle (by insertion order) to export.
+        stop: one past the last lifecycle to export (None: all).
 
     Returns:
         One tuple per lifecycle in insertion order, fields as named by
@@ -354,10 +358,17 @@ def lifecycle_rows(registry: Registry) -> List[Tuple]:
 
     Rows contain only primitives, enums, and (interned) strings — no
     lifecycle or timeline objects — so pickling them across a process
-    boundary is cheap and reconstruction is exact.
+    boundary is cheap and reconstruction is exact.  The ``start``/
+    ``stop`` window is what lets the parallel world build stream a
+    shard's rows back in bounded chunks while the shard is still
+    populating: rows for already-executed plans are final, so a prefix
+    export at any plan boundary is exact.
     """
+    lifecycles: Iterable = registry.lifecycles()
+    if start or stop is not None:
+        lifecycles = islice(lifecycles, start, stop)
     rows: List[Tuple] = []
-    for lc in registry.lifecycles():
+    for lc in lifecycles:
         rows.append((
             lc.domain, lc.registrar, lc.created_at, lc.zone_added_at,
             lc.removed_at, lc.zone_removed_at, lc.dns_provider,

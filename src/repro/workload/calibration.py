@@ -32,6 +32,22 @@ MONTHS: Tuple[Tuple[str, int], ...] = (
     ("2024-01", 31),
 )
 
+#: Month keys in chronological (canonical) order.
+MONTH_KEYS: Tuple[str, ...] = tuple(m for m, _ in MONTHS)
+
+
+def month_index(month_key: str) -> int:
+    """Position of a month key in the paper window (0-based).
+
+    The index keys the per-``(tld, month)`` stream/namespace layout of
+    the world build (``docs/determinism.md``): stream paths carry the
+    month *key*, name namespaces carry this compact *index*.
+    """
+    try:
+        return MONTH_KEYS.index(month_key)
+    except ValueError:
+        raise ConfigError(f"unknown month key: {month_key!r}") from None
+
 #: TLDs the paper's "Others" bucket is spread across (weights Zipf-ish).
 FILLER_TLDS: Tuple[str, ...] = (
     "fun", "icu", "info", "biz", "live", "club", "vip", "lol",

@@ -13,9 +13,12 @@ DGA-style bulk spam, numbered card-fraud batches) are what these
 styles make visibly distinct in the reproduced feeds and tables.
 
 A generator's RNG stream *and* its sequence counter advance with every
-name, which is why a TLD's months cannot be split across worker
-processes in the multi-core world build — the generator is a per-TLD
-serial resource (see ``docs/determinism.md``).
+name, so a generator is a serial resource — whoever shares one must
+run serially.  The multi-core world build therefore gives every
+``(tld, month)`` shard its *own* generators over month-scoped streams,
+with :func:`month_scoped` namespaces keeping the per-month sequence
+counters collision-free across months of one TLD (see
+``docs/determinism.md``).
 """
 
 from __future__ import annotations
@@ -152,6 +155,25 @@ class NameGenerator:
         if style == "parked":
             return intern_name(self.parked(tld))
         raise ValueError(f"unknown name style: {style!r}")
+
+
+def month_scoped(rng: RngStream, month_index: int,
+                 kind: str = "m") -> NameGenerator:
+    """A generator whose namespace embeds a month index.
+
+    The unit of parallelism in the world build is one ``(tld, month)``
+    shard; each shard constructs its generators over month-scoped RNG
+    streams, so the *streams* never collide — but the per-generator
+    sequence counters all restart at 1.  Embedding the month index in
+    the namespace (``m0-``, ``h2-``, ``gh1-``, …) makes the generated
+    suffixes disjoint across months of one TLD, so months generate
+    independently yet collision-free.
+
+    ``kind`` distinguishes co-existing populations of one shard:
+    ``"m"`` ordinary monthly NRDs, ``"h"`` held domains, ``"gh"``
+    ghost-certificate names.
+    """
+    return NameGenerator(rng, namespace=f"{kind}{month_index}-")
 
 
 def subdomain_names(rng: RngStream, domain: str, count: int) -> List[Name]:

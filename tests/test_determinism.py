@@ -16,8 +16,7 @@ from repro.workload.scenario import (
 CONFIG = ScenarioConfig(seed=21, scale=1 / 5000, tlds=["com", "xyz", "top"],
                         include_cctld=False)
 
-#: Golden world fingerprints, recorded from the *pre-fast-path* (seed,
-#: PR 2 tip) implementation.  They pin every sampled value in a world:
+#: Golden world fingerprints.  They pin every sampled value in a world:
 #: any optimization that perturbs a single draw — one extra RNG call,
 #: one reordered weighted pick, one changed hash — changes these
 #: digests and fails the suite.  If a future PR *intends* to change
@@ -25,16 +24,20 @@ CONFIG = ScenarioConfig(seed=21, scale=1 / 5000, tlds=["com", "xyz", "top"],
 #: ``PYTHONPATH=src python -c "from repro.workload.scenario import *; \
 #: print(world_fingerprint(build_world(<config>)))"`` and say so in the
 #: PR description.
+#:
+#: Fingerprint epoch 2: re-recorded for the per-``(tld, month)`` stream
+#: relayout (docs/determinism.md "Re-recording goldens") — month-scoped
+#: stream paths and name namespaces deliberately changed every digest.
 GOLDEN_FINGERPRINTS = {
     "gtld_small": (
         ScenarioConfig(seed=21, scale=1 / 5000, tlds=["com", "xyz", "top"],
                        include_cctld=False),
-        "67d1e472d09685d135ada67302d81b18",
+        "f43497fbdd28f526f290d8e71eaa881d",
     ),
     "with_cctld": (
         ScenarioConfig(seed=11, scale=1 / 4000, tlds=["com", "shop"],
                        include_cctld=True, cctld_scale=1 / 100),
-        "5f7aaf744e094abeec710cdf21857226",
+        "ca5aec293743bc948ebd8f8996d12028",
     ),
 }
 
@@ -150,7 +153,7 @@ class TestInstrumentedBuildMatchesGolden:
     tracer *and* the sampling profiler running must reproduce the
     committed golden fingerprint bit-identically — telemetry draws no
     RNG and never perturbs a sampled value — and the parent tracer must
-    hold the stitched per-worker ``build.populate_tld`` spans.
+    hold the stitched per-worker ``build.populate_shard`` spans.
     """
 
     @staticmethod
@@ -181,15 +184,19 @@ class TestInstrumentedBuildMatchesGolden:
         # Bit-identical to the committed serial golden, telemetry on.
         assert world_fingerprint(world) == pinned["fingerprint"]
 
-        # Every worker's populate spans were stitched into the parent.
+        # Every worker's populate spans were stitched into the parent:
+        # one span per (tld, month) shard, three months per TLD.
+        from repro.workload import calibration as cal
+
         totals = trace.phase_totals()
-        assert "build.populate_tld" in totals
+        assert "build.populate_shard" in totals
         populate = [s for s in trace.spans
-                    if s.name == "build.populate_tld"]
-        assert len(populate) == len(world.registries)
-        assert totals["build.populate_tld"]["count"] == len(populate)
-        assert ({s.labels["tld"] for s in populate}
-                == {r.tld for r in world.registries})
+                    if s.name == "build.populate_shard"]
+        assert len(populate) == len(cal.MONTH_KEYS) * len(world.targets)
+        assert totals["build.populate_shard"]["count"] == len(populate)
+        assert ({(s.labels["tld"], s.labels["month"]) for s in populate}
+                == {(tld, month) for tld in world.targets
+                    for month in cal.MONTH_KEYS})
         assert all("worker" in s.labels for s in populate)
         # Re-rooted under the one merge span, one level down.
         (merge,) = [s for s in trace.spans

@@ -55,9 +55,13 @@ from repro.workload.scenario import (
 #: The tiny chaos world every determinism test rebuilds (cheap: ~1s).
 TINY = dict(seed=21, scale=1 / 5000, tlds=["com", "xyz", "top"],
             include_cctld=False)
-#: Fingerprint of the undisturbed TINY world (pinned by test_workload's
-#: jobs=1 == jobs=N equivalence; recovery must reproduce it too).
-TINY_FINGERPRINT = "67d1e472d09685d135ada67302d81b18"
+#: Fingerprint of the undisturbed TINY world (pinned by
+#: test_determinism's goldens; recovery must reproduce it too).
+#: Epoch 2: re-recorded for the per-(tld, month) stream relayout.
+TINY_FINGERPRINT = "f43497fbdd28f526f290d8e71eaa881d"
+
+#: TINY builds 3 TLDs x 3 months = 9 (tld, month) shards.
+TINY_SHARDS = 9
 
 
 @pytest.fixture(autouse=True)
@@ -330,19 +334,31 @@ class TestSupervisedBuild:
         return world_fingerprint(build_world(config))
 
     def test_crash_recovery_reproduces_fingerprint(self):
+        # Every (tld, month) shard's first attempt crashes; every
+        # retry succeeds and the merged world is bit-identical.
         fp = self._fingerprint(
             parallel=4,
             fault_plan="seed=3;worker.crash:rate=1.0,fires=1")
         assert fp == TINY_FINGERPRINT
         snap = get_resilience_metrics().snapshot()
-        assert snap["resilience_shard_retries_total"] == 3
+        assert snap["resilience_shard_retries_total"] == TINY_SHARDS
         assert (snap["resilience_worker_failures_total"]
-                == {"crash": 3})
+                == {"crash": TINY_SHARDS})
 
     def test_poison_shard_serial_fallback(self):
+        # Fault targets match shard labels ("tld:month"), so a glob
+        # poisons all three monthly shards of one TLD.
         fp = self._fingerprint(
             parallel=2, max_shard_retries=1,
-            fault_plan="seed=3;worker.crash:rate=1.0,target=xyz")
+            fault_plan="seed=3;worker.crash:rate=1.0,target=xyz:*")
+        assert fp == TINY_FINGERPRINT
+        snap = get_resilience_metrics().snapshot()
+        assert snap["resilience_serial_fallbacks_total"] == 3
+
+    def test_single_shard_poison_falls_back_once(self):
+        fp = self._fingerprint(
+            parallel=2, max_shard_retries=1,
+            fault_plan="seed=3;worker.crash:rate=1.0,target=com:2023-12")
         assert fp == TINY_FINGERPRINT
         snap = get_resilience_metrics().snapshot()
         assert snap["resilience_serial_fallbacks_total"] == 1
@@ -351,7 +367,7 @@ class TestSupervisedBuild:
         fp = self._fingerprint(
             parallel=2, shard_deadline=0.5,
             fault_plan="seed=3;worker.hang:rate=1.0,fires=1,"
-                       "target=com,delay=5")
+                       "target=com:2023-11,delay=5")
         assert fp == TINY_FINGERPRINT
         snap = get_resilience_metrics().snapshot()
         assert snap["resilience_worker_failures_total"]["deadline"] >= 1
@@ -360,7 +376,7 @@ class TestSupervisedBuild:
         with pytest.raises(ShardRetryExhausted):
             self._fingerprint(
                 parallel=2, max_shard_retries=0, serial_fallback=False,
-                fault_plan="seed=3;worker.crash:rate=1.0,target=com")
+                fault_plan="seed=3;worker.crash:rate=1.0,target=com:*")
 
     def test_chaos_matches_committed_bench_fingerprint(self):
         """The acceptance gate: a crash-ridden --jobs 4 build at the

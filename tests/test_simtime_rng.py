@@ -299,6 +299,42 @@ class TestFastForward:
             sampler.pick(picked)
         assert picked.random() == RngStream(7, "cap").fast_forward(25).random()
 
+    @given(seed=st.integers(0, 2 ** 32),
+           counts=st.lists(st.integers(0, 40), min_size=1, max_size=12),
+           kind=st.sampled_from(["random", "uniform", "choice",
+                                 "lognormvariate"]))
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_split_reproduces_serial_sequence(self, seed, counts,
+                                                      kind):
+        """The per-(tld, month) relayout contract: partition a shared
+        stream's draws into per-shard counts, give every shard a FRESH
+        stream fast-forwarded to its prefix-sum offset, and the
+        concatenation of the shards' draws equals the serial sequence —
+        for every fast-forwardable draw kind, any shard sizes, any
+        shard count (the build's ~60 shards are one instance).
+        """
+        def draw(stream):
+            if kind == "random":
+                return stream.random()
+            if kind == "uniform":
+                return stream.uniform(2.0, 9.0)
+            if kind == "choice":
+                return stream.choice(list(range(17)))
+            return stream.lognormvariate(1.0, 0.5)
+
+        serial = RngStream(seed, "capick")
+        expected = [draw(serial) for _ in range(sum(counts))]
+        pieces = []
+        offset = 0
+        for count in counts:
+            shard = RngStream(seed, "capick")
+            shard.fast_forward(offset, kind=kind,
+                               **({"population": 17}
+                                  if kind == "choice" else {}))
+            pieces.extend(draw(shard) for _ in range(count))
+            offset += count
+        assert pieces == expected
+
 
 class TestCountingStream:
     def test_draw_identical_to_plain_stream(self):

@@ -239,10 +239,11 @@ class TestScenario:
 class TestCapickDrawAccounting:
     """The counting pass behind the multi-core build's fast-forward.
 
-    ``capick_draw_counts`` must predict, per TLD, exactly how many
-    draws ``_populate_tld`` consumes from the shared capick stream —
-    otherwise a worker's fast-forward offset drifts and every CA pick
-    after the first mispredicted TLD diverges from the serial build.
+    ``capick_draw_counts`` must predict, per ``(tld, month)`` shard,
+    exactly how many draws ``_populate_shard`` consumes from the shared
+    capick stream — otherwise a shard's fast-forward offset drifts and
+    every CA pick after the first mispredicted shard diverges from the
+    serial build.
     """
 
     def _audit(self, config):
@@ -250,7 +251,8 @@ class TestCapickDrawAccounting:
         from repro.registry.policy import policy_for
         from repro.registry.registry import Registry
         from repro.simtime.rng import CountingStream, StreamBank
-        from repro.workload.scenario import _populate_tld, capick_draw_counts
+        from repro.workload.scenario import (_STAT_KEYS, _populate_shard,
+                                             capick_draw_counts, shard_keys)
 
         targets = cal.build_targets(config.scale)
         if config.tlds is not None:
@@ -258,15 +260,15 @@ class TestCapickDrawAccounting:
         predicted = capick_draw_counts(config, targets)
         bank = StreamBank(config.seed)
         counter = bank.adopt(CountingStream(config.seed, "capick"), "capick")
-        for tld in sorted(targets):
+        registries = {tld: Registry(policy_for(tld)) for tld in targets}
+        for tld, month in shard_keys(targets):
             before = counter.random_draws
-            _populate_tld(config, targets[tld], bank,
-                          Registry(policy_for(tld)), DZDB(),
-                          lambda index, domain, ts: None, [],
-                          dict.fromkeys(("registrations", "fast_takedowns",
-                                         "ghost_certs", "held_domains",
-                                         "baseline"), 0))
-            assert counter.random_draws - before == predicted[tld], tld
+            _populate_shard(config, targets[tld], month, bank,
+                            registries[tld], DZDB(),
+                            lambda index, domain, ts: None, [],
+                            dict.fromkeys(_STAT_KEYS, 0))
+            assert (counter.random_draws - before
+                    == predicted[(tld, month)]), (tld, month)
         return predicted
 
     def test_counts_match_consumption(self):
@@ -280,6 +282,52 @@ class TestCapickDrawAccounting:
             seed=13, scale=1 / 2000, tlds=["com", "xyz"],
             include_cctld=False, ghost_certs=False, held_domains=False))
         assert all(count == 0 for count in predicted.values())
+
+
+class TestShardScheduling:
+    """LPT submission order and the shard plan behind it."""
+
+    def test_lpt_orders_by_descending_estimate(self):
+        from repro.workload.scenario import lpt_order
+        estimates = {("com", "2023-11"): 9000, ("com", "2023-12"): 7000,
+                     ("xyz", "2023-11"): 120, ("top", "2024-01"): 7000,
+                     ("bond", "2023-12"): 3}
+        order = lpt_order(estimates)
+        assert order[0] == ("com", "2023-11")
+        assert order[-1] == ("bond", "2023-12")
+        sizes = [estimates[key] for key in order]
+        assert sizes == sorted(sizes, reverse=True)
+        # Ties broken by key so the submission order is deterministic.
+        assert order[1:3] == [("com", "2023-12"), ("top", "2024-01")]
+
+    def test_skewed_estimates_put_the_straggler_first(self):
+        # The whole point of LPT: a dominant shard (the old .com
+        # straggler, now one month of it) must be submitted first so
+        # it overlaps everything else instead of trailing the build.
+        from repro.workload.scenario import (lpt_order, shard_estimates,
+                                             shard_keys)
+        config = ScenarioConfig(seed=5, scale=1 / 1000, include_cctld=False)
+        targets = cal.build_targets(config.scale)
+        estimates = shard_estimates(config, targets)
+        assert set(estimates) == set(shard_keys(targets))
+        order = lpt_order(estimates)
+        # All three of the old straggler's monthly shards go first, so
+        # they overlap the rest of the build instead of trailing it.
+        assert {key[0] for key in order[:3]} == {"com"}
+
+    def test_estimates_cover_every_population(self):
+        from repro.workload.scenario import shard_estimates
+        config = ScenarioConfig(seed=5, scale=1 / 2000,
+                                tlds=["com", "xyz"], include_cctld=False)
+        targets = cal.build_targets(config.scale)
+        targets = {t: targets[t] for t in config.tlds}
+        estimates = shard_estimates(config, targets)
+        com = targets["com"]
+        first = cal.MONTH_KEYS[0]
+        base = int(round(com.total_nrd * config.baseline_fraction))
+        want = (com.monthly_nrd[first] + com.fast_takedown_count(first)
+                + com.ghost_count(first) + com.held_count(first) + base)
+        assert estimates[("com", first)] == want
 
 
 class TestLifecycleRowRoundTrip:
