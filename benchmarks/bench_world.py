@@ -46,6 +46,7 @@ from repro.workload.scenario import (
     build_world,
     world_fingerprint,
 )
+from repro.workload.scenarios import parse_scenario_spec
 
 #: Default measurement point: the scale the seed implementation was
 #: profiled at (≈34 k registrations).
@@ -63,11 +64,16 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
               include_cctld: bool = False, pipeline: bool = False,
               fingerprint: bool = True, rounds: int = 1,
               jobs: int = 1, fault_plan: Optional[str] = None,
-              max_shard_retries: int = 2) -> dict:
+              max_shard_retries: int = 2,
+              scenario: Optional[str] = None) -> dict:
+    scenario_name, scenario_knobs = (parse_scenario_spec(scenario)
+                                     if scenario else (None, {}))
     config = ScenarioConfig(seed=seed, scale=1.0 / inv_scale,
                             include_cctld=include_cctld, parallel=jobs,
                             fault_plan=fault_plan,
-                            max_shard_retries=max_shard_retries)
+                            max_shard_retries=max_shard_retries,
+                            scenario=scenario_name,
+                            scenario_knobs=scenario_knobs)
     build_sec = None
     for _ in range(max(1, rounds)):
         # Reset per round so the reported phase table covers exactly
@@ -84,6 +90,7 @@ def run_build(inv_scale: int = INV_SCALE, seed: int = SEED,
         "include_cctld": include_cctld,
         "jobs": jobs,
         "fault_plan": fault_plan,
+        "scenario": scenario,
         "registrations": regs,
         "certstream_events": world.certstream.event_count(),
         "build_sec": round(build_sec, 4),
@@ -334,6 +341,11 @@ def main() -> None:
     parser.add_argument("--max-shard-retries", type=int, default=2,
                         help="per-shard retry budget under --fault-plan "
                              "(default 2)")
+    parser.add_argument("--scenario", metavar="SPEC", default=None,
+                        help="build a scenario world (name, optionally "
+                             "with knob overrides, e.g. 'registrar-burst:"
+                             "burst_mult=12'); scenario runs never touch "
+                             "the committed worldgen baseline")
     parser.add_argument("--span-overhead", action="store_true",
                         help="also time the build with the span tracer "
                              "disabled and with the profiler sampling, "
@@ -354,7 +366,8 @@ def main() -> None:
                        include_cctld=args.cctld, pipeline=args.pipeline,
                        fingerprint=not args.no_fingerprint, rounds=rounds,
                        jobs=args.jobs, fault_plan=args.fault_plan,
-                       max_shard_retries=args.max_shard_retries)
+                       max_shard_retries=args.max_shard_retries,
+                       scenario=args.scenario)
     if profiler is not None:
         profiler.stop()
         report["profile"] = {
@@ -383,13 +396,15 @@ def main() -> None:
         # must reproduce the committed digest bit for bit.
         problems = check_against_baseline(
             "worldgen", report, lower_is_better=("build_sec",),
-            scale_keys=("inv_scale", "seed", "include_cctld", "jobs"))
+            scale_keys=("inv_scale", "seed", "include_cctld", "jobs",
+                        "scenario"))
         committed_path = BASELINE_DIR / "BENCH_worldgen.json"
         same_point = False
         if committed_path.exists():
             committed = json.loads(committed_path.read_text())
             same_point = all(committed.get(k) == report.get(k)
-                             for k in ("inv_scale", "seed", "include_cctld"))
+                             for k in ("inv_scale", "seed", "include_cctld",
+                                       "scenario"))
             want = committed.get("fingerprint")
             if (want and same_point and "fingerprint" in report
                     and want != report["fingerprint"]):
@@ -407,6 +422,7 @@ def main() -> None:
             "seed": args.seed,
             "include_cctld": args.cctld,
             "jobs": args.jobs,
+            "scenario": args.scenario,
             "build_sec": report["build_sec"],
             "registrations_per_sec": report["registrations_per_sec"],
             "us_per_registration": report["us_per_registration"],
@@ -426,7 +442,8 @@ def main() -> None:
         else:
             print("baseline check ok")
     elif (not args.no_baseline and args.inv_scale == INV_SCALE
-          and args.seed == SEED and not args.cctld and args.jobs == 1):
+          and args.seed == SEED and not args.cctld and args.jobs == 1
+          and args.scenario is None):
         # Only the canonical measurement point may refresh the committed
         # baseline — the same point the CI check gates on.  The profile
         # section is run-local diagnostics, not a comparable metric.

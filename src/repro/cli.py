@@ -70,6 +70,7 @@ from repro.serve import FeedServer, FeedServerConfig, FilterSpec
 from repro.simtime.clock import DAY, Window, parse_duration
 from repro.simtime.rng import spawn
 from repro.workload.scenario import ScenarioConfig, build_world
+from repro.workload.scenarios import iter_scenarios, parse_scenario_spec
 
 log = get_logger("cli")
 
@@ -129,16 +130,31 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                         help="per-shard retry budget for crashed/overdue "
                              "build workers before serial fallback "
                              "(default 2)")
+    parser.add_argument("--scenario", metavar="SPEC", default=None,
+                        help="build a scenario world: a registered name, "
+                             "optionally with knob overrides, e.g. "
+                             "'registrar-burst:burst_day=30,burst_mult=12' "
+                             "(see 'repro scenarios' for the registry; "
+                             "default: the plain calibrated world)")
+
+
+def _scenario_from(args: argparse.Namespace):
+    """``(name, knobs)`` from ``--scenario``, or ``(None, {})``."""
+    if getattr(args, "scenario", None) is None:
+        return None, {}
+    return parse_scenario_spec(args.scenario)
 
 
 def _world_from(args: argparse.Namespace, cctld_scale: Optional[float] = None):
+    scenario, knobs = _scenario_from(args)
     return build_world(ScenarioConfig(
         seed=args.seed, scale=1 / args.scale,
         include_cctld=not args.no_cctld,
         cctld_scale=cctld_scale,
         parallel=args.jobs,
         fault_plan=args.fault_plan,
-        max_shard_retries=args.max_shard_retries))
+        max_shard_retries=args.max_shard_retries,
+        scenario=scenario, scenario_knobs=knobs))
 
 
 def _add_metrics_out(parser: argparse.ArgumentParser) -> None:
@@ -241,10 +257,12 @@ def cmd_feed(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    scenario, knobs = _scenario_from(args)
     config = ScenarioConfig(
         seed=args.seed, scale=1 / args.scale, include_cctld=False,
         tlds=["com", "net", "xyz", "online", "site", "top"],
-        parallel=args.jobs)
+        parallel=args.jobs,
+        scenario=scenario, scenario_knobs=knobs)
     points = rzu_sweep(config, DEFAULT_CADENCES)
     print(rzu_report(points).render())
     return 0
@@ -374,6 +392,16 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the scenario registry: name, description, knobs."""
+    for cls in iter_scenarios():
+        print(f"{cls.name}")
+        print(f"    {cls.description}")
+        for knob in cls.knobs:
+            print(f"    {knob.name}={knob.default:g}  {knob.description}")
+    return 0
+
+
 def cmd_probe(args: argparse.Namespace) -> int:
     world = _world_from(args)
     window = Window(world.window.start, world.window.start + 3 * DAY)
@@ -413,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="SOA-serial cadence probe (§4.1)")
     _add_world_args(p_probe)
     p_probe.set_defaults(func=cmd_probe)
+
+    p_scen = sub.add_parser(
+        "scenarios", help="list registered scenario plugins and their knobs")
+    p_scen.set_defaults(func=cmd_scenarios)
 
     p_serve = sub.add_parser(
         "serve", help="serve the public feed to simulated subscribers")

@@ -38,15 +38,19 @@ from repro.obs.exposition import (
     to_prometheus,
 )
 from repro.obs.observers import (
+    SCENARIO_EXPECTATIONS,
     Anomaly,
     MassEvent,
     ObserverSuite,
     RollingBaseline,
+    ScenarioExpectation,
     SeriesObserver,
+    check_expectations,
     daily_counts,
     default_pipeline_suite,
     observe_pipeline_result,
     observe_scan_reports,
+    observe_world,
 )
 from repro.obs.profiler import SamplingProfiler, profiling
 from repro.obs.log import LogRouter, configure, get_logger
@@ -59,7 +63,8 @@ __all__ = [
     "to_prometheus", "to_json", "parse_prometheus", "lint_prometheus",
     "Anomaly", "MassEvent", "RollingBaseline", "SeriesObserver",
     "ObserverSuite", "daily_counts", "default_pipeline_suite",
-    "observe_pipeline_result", "observe_scan_reports",
+    "observe_pipeline_result", "observe_scan_reports", "observe_world",
+    "ScenarioExpectation", "SCENARIO_EXPECTATIONS", "check_expectations",
     "SamplingProfiler", "profiling",
     "LogRouter", "configure", "get_logger",
     "BuildProgress", "Heartbeat", "build_progress",

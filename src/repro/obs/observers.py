@@ -41,7 +41,8 @@ from repro.obs.metrics import Counter
 __all__ = [
     "Anomaly", "MassEvent", "RollingBaseline", "SeriesObserver",
     "ObserverSuite", "daily_counts", "observe_pipeline_result",
-    "observe_scan_reports", "default_pipeline_suite",
+    "observe_scan_reports", "observe_world", "default_pipeline_suite",
+    "ScenarioExpectation", "SCENARIO_EXPECTATIONS", "check_expectations",
 ]
 
 #: Seconds per day — the bucketing unit of the daily series helpers
@@ -338,6 +339,28 @@ def observe_pipeline_result(suite: ObserverSuite, result) -> List[Anomaly]:
     return found
 
 
+def observe_world(suite: ObserverSuite, world) -> List[Anomaly]:
+    """Feed world-level series: NS-infrastructure changes per day.
+
+    Duck-typed over :class:`~repro.workload.scenario.World` (the module
+    stays dependency-free): every lifecycle's ``ns_timeline`` entry
+    beyond the first is a real nameserver change — the first entry is
+    the initial NS set recorded at zone provisioning.  The resulting
+    ``ns_changes`` series is what the TTL-decoupled migration scenario
+    lights up.
+    """
+    changes: List[int] = []
+    for registry in world.registries:
+        for lifecycle in registry.lifecycles():
+            first = True
+            for ts, _value in lifecycle.ns_timeline.changes():
+                if first:
+                    first = False
+                    continue
+                changes.append(ts)
+    return suite.ingest_series("ns_changes", daily_counts(changes))
+
+
 def observe_scan_reports(suite: ObserverSuite, reports: Mapping) -> List[Anomaly]:
     """Feed a scan run's reports: scanned + never-resolved per start day."""
     found = suite.ingest_series(
@@ -368,6 +391,97 @@ def default_pipeline_suite(**overrides) -> ObserverSuite:
                   min_points=7, mass_event_k=2, step_min_delta=10.0)
     params.update(overrides)
     suite = ObserverSuite(**params)
-    for sparse in ("dark_hosts", "confirmed_transients"):
+    # ns_changes (observe_world) rides the same floor: a few NS
+    # rewirings per day is weather at reproduction scales.
+    for sparse in ("dark_hosts", "confirmed_transients", "ns_changes"):
         suite.add_series(sparse, std_floor=5.0)
     return suite
+
+
+# ---------------------------------------------------------------------------
+# Scenario expectations: which detector must each scenario light up?
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioExpectation:
+    """What a :func:`default_pipeline_suite` must report for one scenario.
+
+    Keyed by scenario *name* (plain strings, so this module keeps zero
+    workload dependencies).  ``must_fire`` lists ``(series, kind)``
+    pairs at least one anomaly of which must exist; ``must_quiet``
+    lists series that must produce *no* anomaly at all; ``mass_event``
+    asserts presence (True) or absence (False) of mass events, or
+    neither (None).
+    """
+
+    scenario: str
+    must_fire: Tuple[Tuple[str, str], ...] = ()
+    must_quiet: Tuple[str, ...] = ()
+    mass_event: Optional[bool] = None
+
+
+#: One row per registered scenario (`repro.workload.scenarios`); the
+#: scenario-matrix suite and CI job fail when a build stops meeting its
+#: row.  ``baseline`` pins the converse: the calibrated world must not
+#: trip any detector the adversarial scenarios rely on.
+SCENARIO_EXPECTATIONS: Dict[str, ScenarioExpectation] = {
+    e.scenario: e for e in (
+        ScenarioExpectation(
+            "baseline",
+            must_quiet=("registrations", "dark_hosts",
+                        "confirmed_transients", "ns_changes"),
+            mass_event=False),
+        ScenarioExpectation(
+            "registrar-burst",
+            must_fire=(("registrations", "zscore"),),
+            must_quiet=("dark_hosts",)),
+        ScenarioExpectation(
+            "drop-catch-race",
+            must_fire=(("dark_hosts", "zscore"),)),
+        ScenarioExpectation(
+            "ttl-decoupled-updates",
+            must_fire=(("ns_changes", "zscore"),),
+            must_quiet=("registrations", "dark_hosts")),
+        ScenarioExpectation(
+            "dynamic-update-hijack",
+            must_fire=(("registrations", "zscore"),
+                       ("dark_hosts", "zscore")),
+            mass_event=True),
+        ScenarioExpectation(
+            "slow-zone-registry",
+            must_fire=(("registrations", "step"),)),
+    )
+}
+
+
+def check_expectations(suite: ObserverSuite, scenario: str) -> List[str]:
+    """Compare a suite's recorded anomalies against a scenario's row.
+
+    Returns human-readable problem strings (empty = expectations met).
+    A scenario with no recorded row is itself a problem — every
+    registered scenario must declare what it lights up.
+    """
+    expectation = SCENARIO_EXPECTATIONS.get(scenario)
+    if expectation is None:
+        return [f"no observer expectations recorded for {scenario!r}"]
+    problems: List[str] = []
+    fired = {(a.series, a.kind) for a in suite.anomalies}
+    fired_series = {a.series for a in suite.anomalies}
+    for series, kind in expectation.must_fire:
+        if (series, kind) not in fired:
+            problems.append(
+                f"{scenario}: expected a {kind} anomaly on {series!r}, "
+                "none fired")
+    for series in expectation.must_quiet:
+        if series in fired_series:
+            count = sum(1 for a in suite.anomalies if a.series == series)
+            problems.append(
+                f"{scenario}: expected {series!r} to stay quiet, "
+                f"{count} anomaly(ies) fired")
+    if expectation.mass_event is True and not suite.mass_events:
+        problems.append(f"{scenario}: expected a mass event, none fired")
+    if expectation.mass_event is False and suite.mass_events:
+        problems.append(
+            f"{scenario}: expected no mass events, "
+            f"{len(suite.mass_events)} fired")
+    return problems

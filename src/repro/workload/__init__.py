@@ -32,6 +32,16 @@ from repro.workload.campaign import (
 )
 from repro.workload.namegen import NameGenerator, subdomain_names
 from repro.workload.scenario import ScenarioConfig, World, build_world, small_world
+from repro.workload.scenarios import (
+    Knob,
+    MonthPlanContext,
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    parse_scenario_spec,
+    register_scenario,
+    scenario_names,
+)
 
 __all__ = [
     "ActorProfile", "CertBehaviour",
@@ -44,4 +54,7 @@ __all__ = [
     "RegistrationPlan", "plan_campaign",
     "NameGenerator", "subdomain_names",
     "ScenarioConfig", "World", "build_world", "small_world",
+    "Knob", "Scenario", "MonthPlanContext",
+    "register_scenario", "get_scenario", "scenario_names",
+    "iter_scenarios", "parse_scenario_spec",
 ]

@@ -70,6 +70,11 @@ from repro.workload.namegen import (
     month_scoped,
     subdomain_names,
 )
+from repro.workload.scenarios import (
+    MonthPlanContext,
+    Scenario,
+    get_scenario,
+)
 
 #: Snapshot-collection slack past the analysis window (paper §4.2).
 TRANSIENT_SLACK = 3 * DAY
@@ -135,6 +140,14 @@ class ScenarioConfig:
     #: Rebuild a poison shard in-process after retries are exhausted;
     #: False raises :class:`~repro.errors.ShardRetryExhausted` instead.
     serial_fallback: bool = True
+    #: Registered scenario plugin driving this build (``--scenario``);
+    #: None builds the plain calibrated world — byte-identical to
+    #: ``"baseline"`` (the identity plugin).  See
+    #: :mod:`repro.workload.scenarios` / ``docs/scenarios.md``.
+    scenario: Optional[str] = None
+    #: Knob overrides for the scenario plugin (``name:knob=value`` CLI
+    #: specs land here); unknown knobs fail validation immediately.
+    scenario_knobs: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1:
@@ -151,6 +164,16 @@ class ScenarioConfig:
             raise ConfigError("merge_chunk_rows must be >= 1")
         if self.shard_deadline is not None and self.shard_deadline <= 0:
             raise ConfigError("shard_deadline must be positive")
+        if self.scenario is not None:
+            # Resolves name + knob names now, so a bad --scenario spec
+            # fails before any build work (uniform exit-2 at the CLI).
+            get_scenario(self.scenario, self.scenario_knobs)
+
+    def plugin(self) -> Optional[Scenario]:
+        """The configured scenario plugin instance (None: plain build)."""
+        if self.scenario is None:
+            return None
+        return get_scenario(self.scenario, self.scenario_knobs)
 
 
 @dataclass
@@ -347,6 +370,20 @@ def _plan_month_for_tld(config: ScenarioConfig, targets: TLDTargets,
                 first_seen=validated_at - int(rng.uniform(0, 60 * DAY)),
                 last_seen=validated_at + int(rng.uniform(5 * DAY, 200 * DAY)),
                 in_dzdb=rng.bernoulli(0.98)))
+
+    # --- scenario plugin hook ----------------------------------------------------
+    # Runs identically in the serial build and in every pool worker
+    # (this function is shard code), over streams the base build never
+    # touches — so scenario worlds inherit the jobs=1 ≡ jobs=N proof,
+    # and the "baseline" identity plugin reproduces scenario=None.
+    plugin = config.plugin()
+    if plugin is not None:
+        plugin.transform_month_plan(MonthPlanContext(
+            config=config, targets=targets, month=month, window=window,
+            rng=bank.stream("scenario", targets.tld, month),
+            namegen=month_scoped(bank.stream("scnames", targets.tld, month),
+                                 cal.month_index(month), kind="sc"),
+            plans=plans, ghosts=ghosts))
     return plans, ghosts
 
 
@@ -564,7 +601,11 @@ def _populate_shard(config: ScenarioConfig, tld_targets: TLDTargets,
         if checkpoint is not None:
             checkpoint()
     for ghost in ghosts:
-        ca_index = _CA_INDICES.pick(bank.stream("capick"))
+        # Scenario-planned ghosts arrive with their CA pinned (drawn
+        # from the scenario stream); only calibrated ghosts draw from
+        # the shared capick stream, keeping capick_draw_counts exact.
+        ca_index = (ghost.ca_index if ghost.ca_index is not None
+                    else _CA_INDICES.pick(bank.stream("capick")))
         seed_token(ca_index, ghost.domain, ghost.validated_at)
         if ghost.in_dzdb:
             dzdb.add_interval(ghost.domain, ghost.first_seen,
@@ -1275,6 +1316,12 @@ def build_world(config: Optional[ScenarioConfig] = None) -> World:
 
 def _build_world(config: Optional[ScenarioConfig]) -> World:
     config = config if config is not None else ScenarioConfig()
+    plugin = config.plugin()
+    if plugin is not None:
+        # configure() runs once, here in the parent, before anything is
+        # derived from the config; workers receive the configured copy
+        # in their payloads and never re-apply it.
+        config = plugin.configure(config)
     bank = StreamBank(config.seed)
     with span("build.calibrate"):
         targets = cal.build_targets(config.scale)
@@ -1283,6 +1330,11 @@ def _build_world(config: Optional[ScenarioConfig]) -> World:
         if unknown:
             raise ConfigError(f"unknown TLDs requested: {sorted(unknown)}")
         targets = {t: targets[t] for t in config.tlds}
+    if plugin is not None:
+        # Target transforms land before the counting pass, so capick
+        # offsets, shard estimates, and worker payloads all see the
+        # scenario's targets — multi-core safety by construction.
+        targets = plugin.transform_targets(config, targets)
 
     # Size the process name interner from the planned world volume so
     # it is scale-aware before the first name materialises: roughly one

@@ -58,6 +58,47 @@ class TestCLI:
         assert snap["delivered"] > 0
         assert "delivery_lag" in snap and "dropped_queue_full" in snap
 
+    def test_scenarios_command_lists_the_registry(self, capsys):
+        from repro.workload.scenarios import iter_scenarios
+        rc = main(["scenarios"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for cls in iter_scenarios():
+            assert cls.name in out
+            assert cls.description in out
+            for knob in cls.knobs:
+                assert knob.name in out
+
+    def test_scenario_flag_builds_the_scenario_world(self, tmp_path,
+                                                     capsys):
+        plain = tmp_path / "plain.jsonl"
+        burst = tmp_path / "burst.jsonl"
+        assert main(["feed", "--scale", "5000", "--no-cctld",
+                     "--output", str(plain)]) == 0
+        assert main(["feed", "--scale", "5000", "--no-cctld",
+                     "--scenario", "registrar-burst:burst_mult=12",
+                     "--output", str(burst)]) == 0
+        assert (sum(1 for _ in burst.open())
+                > sum(1 for _ in plain.open()))
+
+    def test_unknown_scenario_exits_2_with_available_list(self, capsys):
+        rc = main(["probe", "--scale", "5000", "--no-cctld",
+                   "--scenario", "nope"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "registrar-burst" in err
+
+    @pytest.mark.parametrize("spec", [
+        "registrar-burst:bogus=1",       # unknown knob
+        "registrar-burst:burst_day",     # malformed pair
+        "registrar-burst:burst_day=x",   # non-numeric value
+    ])
+    def test_bad_scenario_spec_exits_2(self, spec, capsys):
+        rc = main(["probe", "--scale", "5000", "--no-cctld",
+                   "--scenario", spec])
+        assert rc == 2
+        assert capsys.readouterr().err
+
     def test_serve_replay_command(self, tmp_path, capsys):
         archive = tmp_path / "feed.jsonl"
         rc = main(["feed", "--scale", "5000", "--no-cctld",

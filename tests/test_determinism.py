@@ -101,6 +101,24 @@ class TestMultiCoreBuildIsBitIdentical:
             build_world(replace(config, parallel=0))) == expected
 
 
+class TestScenarioIdentity:
+    """The scenario engine's zero-cost guarantee: ``scenario="baseline"``
+    (the identity plugin) builds the same bytes as ``scenario=None`` —
+    plugin hooks draw only from dedicated streams the base build never
+    touches, so an identity plugin cannot perturb a single value.
+    """
+
+    def test_baseline_scenario_reproduces_the_golden(self):
+        config, expected = GOLDEN_FINGERPRINTS["gtld_small"]
+        assert world_fingerprint(build_world(
+            replace(config, scenario="baseline"))) == expected
+
+    def test_baseline_equals_none_under_parallel_build(self):
+        config, expected = GOLDEN_FINGERPRINTS["gtld_small"]
+        assert world_fingerprint(build_world(
+            replace(config, scenario="baseline", parallel=2))) == expected
+
+
 @pytest.fixture(scope="module")
 def run_pair():
     first = run_pipeline(build_world(CONFIG))

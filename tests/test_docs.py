@@ -44,7 +44,8 @@ def test_docs_tree_exists():
     names = {p.name for p in DOC_PAGES}
     assert {"architecture.md", "serve.md", "scan.md",
             "interned-names.md", "determinism.md",
-            "benchmarks.md", "observability.md"} <= names
+            "benchmarks.md", "observability.md",
+            "scenarios.md"} <= names
 
 
 @pytest.mark.parametrize("page", LINKED_PAGES,

@@ -36,6 +36,11 @@ from repro.obs import (
     tracer,
 )
 from repro.obs.exposition import escape_label_value, unescape_label_value
+from repro.obs.observers import (
+    SCENARIO_EXPECTATIONS,
+    check_expectations,
+    observe_world,
+)
 from repro.workload.scenario import ScenarioConfig, build_world, world_fingerprint
 
 _DAY = 86_400
@@ -676,6 +681,134 @@ class TestPipelineObservers:
     def test_without_observers_stats_untouched(self, small_result):
         assert "anomalies" not in small_result.stats
         assert "mass_events" not in small_result.stats
+
+
+# --------------------------------------------------------------------------
+# Detector properties (hypothesis): the invariants the scenario
+# expectations lean on
+# --------------------------------------------------------------------------
+
+def _zscore_kinds(points, value, **params):
+    """Kinds of anomalies the final ``value`` fires after ``points``."""
+    obs = SeriesObserver("s", min_points=2, **params)
+    for day, point in enumerate(points):
+        obs.observe(day * _DAY, point)
+    return {a.kind for a in obs.observe(len(points) * _DAY, value)}
+
+
+class TestDetectorProperties:
+
+    @given(points=st.lists(st.integers(0, 10**6), min_size=3, max_size=40),
+           value=st.integers(0, 10**6),
+           shift=st.integers(-(10**6), 10**6))
+    @settings(max_examples=120, deadline=None)
+    def test_zscore_verdict_invariant_under_affine_shift(
+            self, points, value, shift):
+        # Integer inputs keep the rolling sum-of-squares exact in
+        # float64 (well under 2**53), so the property holds exactly
+        # rather than up to cancellation error.
+        # z = (v - mean) / max(std, floor): translating the whole
+        # baseline window (and the scored point) by any constant leaves
+        # both the deviation and the spread unchanged, so the z-score
+        # verdict must not move.  (The step detector is *meant* to be
+        # shift-sensitive — its score is relative to the mean — so only
+        # the zscore kind is compared.)
+        plain = "zscore" in _zscore_kinds(points, value)
+        moved = "zscore" in _zscore_kinds([p + shift for p in points],
+                                          value + shift)
+        assert plain == moved
+
+    @given(points=st.lists(st.integers(0, 10**4), min_size=3, max_size=30),
+           value=st.integers(0, 10**4),
+           low=st.floats(0, 1e3), extra=st.floats(0, 1e3))
+    @settings(max_examples=120, deadline=None)
+    def test_step_min_delta_gate_monotone_in_delta(
+            self, points, value, low, extra):
+        # A stricter gate can only suppress: any step that fires at
+        # delta ``low + extra`` must also fire at the looser ``low``.
+        high = low + extra
+        fired_high = "step" in _zscore_kinds(points, value,
+                                             step_min_delta=high)
+        fired_low = "step" in _zscore_kinds(points, value,
+                                            step_min_delta=low)
+        assert not fired_high or fired_low
+
+    @given(k=st.integers(1, 6), bursting=st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_mass_event_exact_at_k_boundary(self, k, bursting):
+        # ``bursting`` series spike at one instant: a mass event exists
+        # iff at least k of them did, and fires exactly once.
+        suite = ObserverSuite(min_points=2, mass_event_k=k)
+        burst_ts = 10 * _DAY
+        for i in range(bursting):
+            series = f"s{i}"
+            for day in range(10):
+                suite.ingest(series, day * _DAY, 100)
+            assert suite.ingest(series, burst_ts, 10_000)
+        assert len(suite.mass_events) == (1 if bursting >= k else 0)
+        if bursting >= k:
+            assert len(suite.mass_events[0].series) == k
+
+
+# --------------------------------------------------------------------------
+# World-level series + scenario expectations
+# --------------------------------------------------------------------------
+
+class TestWorldObservers:
+
+    def test_observe_world_counts_ns_changes(self, tiny_world):
+        suite = default_pipeline_suite()
+        observe_world(suite, tiny_world)
+        observer = suite.observer("ns_changes")
+        assert observer.points > 0
+        # The calibrated 2.5% NS-change rate is weather, not an event.
+        assert [a for a in suite.anomalies
+                if a.series == "ns_changes"] == []
+
+    def test_ns_changes_excludes_the_initial_ns_set(self, tiny_world):
+        # The first ns_timeline entry is the NS set recorded at zone
+        # provisioning, not a change — the series total must equal the
+        # beyond-the-first count exactly.
+        total = sum(
+            max(0, sum(1 for _ in lc.ns_timeline.changes()) - 1)
+            for registry in tiny_world.registries
+            for lc in registry.lifecycles())
+        stamps = [ts
+                  for registry in tiny_world.registries
+                  for lc in registry.lifecycles()
+                  for i, (ts, _) in enumerate(lc.ns_timeline.changes())
+                  if i > 0]
+        assert len(stamps) == total > 0
+        assert sum(v for _, v in daily_counts(stamps)) == total
+
+
+class TestScenarioExpectations:
+
+    def test_rows_are_well_formed(self):
+        for name, row in SCENARIO_EXPECTATIONS.items():
+            assert row.scenario == name
+            for series, kind in row.must_fire:
+                assert kind in ("zscore", "step")
+                assert series not in row.must_quiet
+
+    def test_quiet_suite_fails_must_fire(self):
+        problems = check_expectations(default_pipeline_suite(),
+                                      "registrar-burst")
+        assert any("expected a zscore anomaly" in p for p in problems)
+
+    def test_noisy_suite_fails_must_quiet(self):
+        suite = default_pipeline_suite()
+        for day in range(10):
+            suite.ingest("dark_hosts", day * _DAY, 0)
+        suite.ingest("dark_hosts", 10 * _DAY, 500)
+        problems = check_expectations(suite, "baseline")
+        assert any("stay quiet" in p for p in problems)
+        assert any("dark_hosts" in p for p in problems)
+
+    def test_missing_mass_event_reported(self):
+        problems = check_expectations(default_pipeline_suite(),
+                                      "dynamic-update-hijack")
+        assert any("mass event" in p for p in problems)
 
 
 # --------------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.workload.calibration import (
 from repro.workload.campaign import Campaign, plan_campaign
 from repro.workload.namegen import NameGenerator, subdomain_names
 from repro.workload.scenario import ScenarioConfig, build_world, small_world
+from repro.workload.scenarios import scenario_names
 from repro import paperdata
 
 
@@ -254,9 +255,14 @@ class TestCapickDrawAccounting:
         from repro.workload.scenario import (_STAT_KEYS, _populate_shard,
                                              capick_draw_counts, shard_keys)
 
+        plugin = config.plugin()
+        if plugin is not None:
+            config = plugin.configure(config)
         targets = cal.build_targets(config.scale)
         if config.tlds is not None:
             targets = {t: targets[t] for t in config.tlds}
+        if plugin is not None:
+            targets = plugin.transform_targets(config, targets)
         predicted = capick_draw_counts(config, targets)
         bank = StreamBank(config.seed)
         counter = bank.adopt(CountingStream(config.seed, "capick"), "capick")
@@ -282,6 +288,20 @@ class TestCapickDrawAccounting:
             seed=13, scale=1 / 2000, tlds=["com", "xyz"],
             include_cctld=False, ghost_certs=False, held_domains=False))
         assert all(count == 0 for count in predicted.values())
+
+    @pytest.mark.parametrize("scenario", scenario_names())
+    def test_counts_stay_exact_under_every_scenario(self, scenario):
+        # Scenario plugins may rewrite targets (drop-catch boosts the
+        # transient volume → more ghost/held draws) and add their own
+        # ghosts — the counting pass must keep predicting the shared
+        # capick stream's consumption exactly, or every worker's
+        # fast-forward offset drifts.  Scenario-planned ghosts stay off
+        # the stream entirely (pinned ca_index), which this audit
+        # proves shard by shard.
+        predicted = self._audit(ScenarioConfig(
+            seed=13, scale=1 / 2000, tlds=["com", "xyz", "top", "bond"],
+            include_cctld=False, scenario=scenario))
+        assert sum(predicted.values()) > 0
 
 
 class TestShardScheduling:
